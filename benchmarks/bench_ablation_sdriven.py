@@ -1,0 +1,50 @@
+"""E9 — Lemma 5.7 / D.5 ablation: the S-driven simplification.
+
+Measures the effect of the S-driven simplification on the number of at-most
+constraints after cycle reversing, over the cycle-schema family, and the cost
+of the completion with and without additional candidate budget.
+"""
+
+import pytest
+
+from repro.containment import complete, simplify_s_driven
+from repro.containment.cycle_reversal import CompletionConfig
+from repro.dl import AtMostOneCI, TBox, conj, schema_to_extended_tbox
+from repro.graph import forward
+from repro.workloads import synthetic
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_completion_on_cycle_schemas(benchmark, size):
+    schema = synthetic.cycle_schema(size)
+    tbox = schema_to_extended_tbox(schema)
+    result = benchmark.pedantic(
+        lambda: complete(tbox, schema, config=CompletionConfig(max_candidates=16, max_rounds=2)),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.reversed_cycles >= 1
+    bound = 2 * len(schema.edge_labels) * len(schema.node_labels) ** 2
+    single_label = [
+        s
+        for s in result.tbox.at_most_statements()
+        if len(s.body) == 1 and len(s.head) == 1
+        and s.body <= schema.node_labels and s.head <= schema.node_labels
+    ]
+    assert len(single_label) <= bound
+
+
+def test_simplification_drops_subsumed_constraints(benchmark):
+    schema = synthetic.cycle_schema(3)
+    statements = [AtMostOneCI(conj("L0"), forward("next"), conj("L1"))]
+    statements += [
+        AtMostOneCI(conj("L0", f"X{i}"), forward("next"), conj("L1", f"Y{i}")) for i in range(20)
+    ]
+
+    def run():
+        tbox = TBox(statements)
+        simplify_s_driven(tbox, schema)
+        return tbox
+
+    tbox = benchmark(run)
+    assert tbox.at_most_count() == 1

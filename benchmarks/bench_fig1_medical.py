@@ -1,0 +1,68 @@
+"""E1 — Figure 1 / Examples 1.1, 4.1, 4.3–4.5: the medical knowledge graph.
+
+Regenerates the paper's running example as an executable experiment: the
+containment tests of Examples 4.4/4.5, type checking of the migration T0
+against the evolved schema S1 of Figure 1 and elicitation of S1 from T0.
+The qualitative outcomes asserted here are the "expected results" recorded in
+EXPERIMENTS.md; the benchmark numbers chart their cost.
+"""
+
+import pytest
+
+from repro.analysis import check_equivalence, elicit_schema, type_check
+from repro.containment import ContainmentSolver
+from repro.rpq import parse_c2rpq
+from repro.schema import schema_equivalent
+from repro.workloads import medical
+
+
+def test_example_45_containment(benchmark, medical_schemas):
+    source, _ = medical_schemas
+    solver = ContainmentSolver(source)
+    left = parse_c2rpq("p(x) := Vaccine(x)")
+    right = parse_c2rpq("q(x) := (designTarget . crossReacting*)(x, y)")
+    result = benchmark(lambda: solver.contains(left, right))
+    assert result.contained  # Example 4.5: every vaccine targets some antigen
+
+
+def test_example_44_containment(benchmark, medical_schemas):
+    source, _ = medical_schemas
+    solver = ContainmentSolver(source)
+    left = parse_c2rpq("p(x) := (designTarget . crossReacting*)(x, y)")
+    right = parse_c2rpq("q(x) := Vaccine(x)")
+    result = benchmark(lambda: solver.contains(left, right))
+    assert result.contained  # Example 4.4: only vaccines start such paths
+
+
+def test_type_check_t0_against_s1(benchmark, medical_schemas, medical_migration):
+    source, target = medical_schemas
+    result = benchmark.pedantic(
+        lambda: type_check(medical_migration, source, target), rounds=3, iterations=1
+    )
+    assert result.well_typed
+
+
+def test_type_check_broken_variant(benchmark, medical_schemas):
+    source, target = medical_schemas
+    broken = medical.broken_migration()
+    result = benchmark.pedantic(
+        lambda: type_check(broken, source, target), rounds=3, iterations=1
+    )
+    assert not result.well_typed
+
+
+def test_elicitation_recovers_s1(benchmark, medical_schemas, medical_migration):
+    source, target = medical_schemas
+    result = benchmark.pedantic(
+        lambda: elicit_schema(medical_migration, source), rounds=3, iterations=1
+    )
+    assert schema_equivalent(result.schema, target)
+
+
+def test_equivalence_of_t0_and_redundant_variant(benchmark, medical_schemas, medical_migration):
+    source, _ = medical_schemas
+    redundant = medical.redundant_migration()
+    result = benchmark.pedantic(
+        lambda: check_equivalence(medical_migration, redundant, source), rounds=3, iterations=1
+    )
+    assert result.equivalent

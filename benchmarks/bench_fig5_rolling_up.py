@@ -1,0 +1,43 @@
+"""E4 — Figure 5 / Example C.1: the rolling-up construction.
+
+Measures building T_¬Q (automata construction plus TBox assembly) for the
+example query of Appendix C and for queries of growing size, verifying the
+polynomial-size guarantee of Lemma C.2.
+"""
+
+import pytest
+
+from repro.containment import roll_up
+from repro.rpq import build_nfa, parse_regex, parse_uc2rpq
+from repro.workloads.synthetic import path_query, star_query
+from repro.rpq import UC2RPQ
+
+
+EXAMPLE_C1 = parse_uc2rpq(["q() := (a . b* . c)(x2, x1), (A)(x3, x1), (a-)(x1, x0)"])
+
+
+def test_roll_up_example_c1(benchmark):
+    rolled = benchmark(lambda: roll_up(EXAMPLE_C1))
+    assert rolled.tbox.is_horn()
+    assert rolled.tbox.size() >= 9  # the example's TBox has 9 statements
+
+
+def test_nfa_construction_example_32(benchmark):
+    regex = parse_regex("Vaccine . designTarget . crossReacting* . Antigen")
+    nfa = benchmark(lambda: build_nfa(regex))
+    assert nfa.state_count() <= 2 * regex.size()
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16])
+def test_roll_up_scaling_with_path_length(benchmark, length):
+    union = UC2RPQ.from_query(path_query(length, edge_prefix="e"))
+    rolled = benchmark(lambda: roll_up(union))
+    # linear-size automata ⇒ the TBox grows linearly in the query size
+    assert rolled.tbox.size() <= 12 * union.size() + 20
+
+
+@pytest.mark.parametrize("branches", [2, 4, 8])
+def test_roll_up_scaling_with_star_branches(benchmark, branches):
+    union = UC2RPQ.from_query(star_query(branches))
+    rolled = benchmark(lambda: roll_up(union))
+    assert rolled.tbox.size() <= 12 * union.size() + 20

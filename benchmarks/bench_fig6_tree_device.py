@@ -1,0 +1,49 @@
+"""E5 — Figure 6: the tree-enforcing device of the hardness proof.
+
+Evaluates the positive traversal query and the negative violation query of
+Figure 6 over complete binary trees of growing size and over corrupted trees,
+confirming that the device distinguishes them and measuring evaluation cost.
+"""
+
+import pytest
+
+from repro.graph import Graph
+from repro.hardness import tree_device_queries, tree_device_schema
+from repro.rpq import satisfies
+from repro.schema import conforms
+
+
+def complete_tree(depth: int) -> Graph:
+    graph = Graph()
+    graph.add_node("", ["Node"] if depth > 0 else ["Leaf"])
+    frontier = [("", 0)]
+    while frontier:
+        path, level = frontier.pop()
+        if level == depth:
+            continue
+        for index, edge_label in enumerate(("a1", "a2")):
+            child = f"{path}{index}"
+            graph.add_node(child, ["Leaf" if level + 1 == depth else "Node"])
+            graph.add_edge(path, edge_label, child)
+            frontier.append((child, level + 1))
+    return graph
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_positive_query_on_complete_trees(benchmark, depth):
+    positive, negative = tree_device_queries()
+    tree = complete_tree(depth)
+    assert conforms(tree, tree_device_schema())
+    holds = benchmark(lambda: satisfies(tree, positive.boolean()))
+    assert holds
+    assert not satisfies(tree, negative.boolean())
+
+
+def test_negative_query_flags_corruption(benchmark):
+    positive, negative = tree_device_queries()
+    corrupted = complete_tree(3)
+    # give an inner node a second parent: the [a1⁻][a2⁻] disjunct of the
+    # negative query (no node has two incoming edges) must fire
+    corrupted.add_edge("", "a2", "10")
+    holds = benchmark(lambda: satisfies(corrupted, negative.boolean()))
+    assert holds

@@ -1,0 +1,61 @@
+"""E10 — cost breakdown of the analysis pipeline (Lemmas B.2, B.5–B.8).
+
+For each packaged workload, counts how many containment tests the three
+static-analysis problems issue (the polynomial Turing reduction of Theorem
+4.2) and measures the end-to-end cost of each stage.
+"""
+
+import pytest
+
+from repro.analysis import check_equivalence, check_label_coverage, elicit_schema, type_check
+from repro.workloads import fhir, medical, social
+
+
+WORKLOADS = {
+    "medical": (medical.source_schema, medical.target_schema, medical.migration),
+    "fhir": (fhir.schema_v3, fhir.schema_v4, fhir.migration_v3_to_v4),
+    "social": (social.schema_v1, social.schema_v2, social.reification),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_type_check_breakdown(benchmark, workload):
+    source_fn, target_fn, transformation_fn = WORKLOADS[workload]
+    source, target, transformation = source_fn(), target_fn(), transformation_fn()
+    result = benchmark.pedantic(
+        lambda: type_check(transformation, source, target), rounds=2, iterations=1
+    )
+    assert result.well_typed
+    # the Turing reduction issues polynomially many containment calls
+    upper_bound = 4 * (len(transformation.rules()) + len(source.node_labels) ** 2 * 2 * len(target.edge_labels) ** 1 + 50)
+    assert result.containment_calls <= upper_bound
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_coverage_breakdown(benchmark, workload):
+    source_fn, _, transformation_fn = WORKLOADS[workload]
+    source, transformation = source_fn(), transformation_fn()
+    result = benchmark.pedantic(
+        lambda: check_label_coverage(transformation, source), rounds=2, iterations=1
+    )
+    assert result.covered
+
+
+def test_elicitation_breakdown_medical(benchmark):
+    result = benchmark.pedantic(
+        lambda: elicit_schema(medical.migration(), medical.source_schema()),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.containment_calls > 0
+
+
+def test_equivalence_breakdown_medical(benchmark):
+    result = benchmark.pedantic(
+        lambda: check_equivalence(
+            medical.migration(), medical.redundant_migration(), medical.source_schema()
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.equivalent

@@ -1,0 +1,43 @@
+"""E7 — Theorem 4.2: scaling of the static-analysis procedures.
+
+Charts how type checking, equivalence and elicitation scale with the size of
+the schema and of the transformation, using the synthetic chain family (the
+derived-path transformations make the underlying containment tests grow).
+"""
+
+import pytest
+
+from repro.analysis import check_equivalence, elicit_schema, type_check
+from repro.workloads import synthetic
+
+
+@pytest.mark.parametrize("length", [1, 2, 4, 6])
+def test_type_check_chain_copy(benchmark, length):
+    schema = synthetic.chain_schema(length)
+    transformation = synthetic.chain_copy_transformation(length)
+    result = benchmark.pedantic(
+        lambda: type_check(transformation, schema, schema), rounds=2, iterations=1
+    )
+    assert result.well_typed
+
+
+@pytest.mark.parametrize("length", [1, 2, 4])
+def test_elicit_chain_collapse(benchmark, length):
+    schema = synthetic.chain_schema(length)
+    transformation = synthetic.chain_collapse_transformation(length)
+    result = benchmark.pedantic(
+        lambda: elicit_schema(transformation, schema), rounds=2, iterations=1
+    )
+    # the shortcut edge is guaranteed exactly once per L0 node
+    assert str(result.schema.multiplicity("L0", "shortcut", f"L{length}")) == "1"
+
+
+@pytest.mark.parametrize("length", [1, 2, 4])
+def test_equivalence_chain_copy_vs_itself(benchmark, length):
+    schema = synthetic.chain_schema(length)
+    transformation = synthetic.chain_copy_transformation(length)
+    other = synthetic.chain_copy_transformation(length)
+    result = benchmark.pedantic(
+        lambda: check_equivalence(transformation, other, schema), rounds=2, iterations=1
+    )
+    assert result.equivalent

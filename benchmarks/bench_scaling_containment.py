@@ -1,0 +1,48 @@
+"""E8 — Theorems 5.1/6.1: scaling of containment and satisfiability.
+
+Charts the cost of containment modulo schema as the left query grows (longer
+derived paths, more star nesting) and the cost of the underlying chase-based
+satisfiability check, on the medical schema and the synthetic chain family.
+"""
+
+import pytest
+
+from repro.chase import is_satisfiable
+from repro.containment import ContainmentSolver
+from repro.dl import schema_to_extended_tbox
+from repro.rpq import C2RPQ, Atom, parse_c2rpq
+from repro.rpq.regex import concat, edge, node, star
+from repro.workloads import medical, synthetic
+
+
+@pytest.mark.parametrize("stars", [0, 1, 2])
+def test_containment_with_growing_star_nesting(benchmark, stars):
+    source = medical.source_schema()
+    solver = ContainmentSolver(source)
+    tail = concat(*([edge("crossReacting")] * stars)) if stars else concat()
+    left_regex = concat(edge("designTarget"), tail, star(edge("crossReacting")))
+    left = C2RPQ([Atom(left_regex, "x", "y")], ["x"], name="p")
+    right = parse_c2rpq("q(x) := Vaccine(x)")
+    result = benchmark.pedantic(lambda: solver.contains(left, right), rounds=3, iterations=1)
+    assert result.contained
+
+
+@pytest.mark.parametrize("length", [2, 4, 6, 8])
+def test_containment_with_growing_path_length(benchmark, length):
+    schema = synthetic.chain_schema(length)
+    solver = ContainmentSolver(schema)
+    path = concat(*(edge(f"e{i}") for i in range(length)))
+    left = C2RPQ([Atom(path, "x", "y")], ["x"], name="p")
+    right = parse_c2rpq("q(x) := L0(x)")
+    result = benchmark.pedantic(lambda: solver.contains(left, right), rounds=3, iterations=1)
+    assert result.contained
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_satisfiability_scaling(benchmark, length):
+    schema = synthetic.chain_schema(length)
+    tbox = schema_to_extended_tbox(schema)
+    path = concat(*(edge(f"e{i}") for i in range(length)))
+    query = C2RPQ([Atom(path, "x", "y"), Atom(node("L0"), "x", "x")], [], name="sat")
+    result = benchmark(lambda: is_satisfiable(query, tbox))
+    assert result.satisfiable

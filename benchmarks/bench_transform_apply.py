@@ -1,0 +1,45 @@
+"""E11 — throughput of applying transformations to instance graphs.
+
+Not a decision procedure, but the executable semantics of Section 4: measures
+T(G) for graphs of growing size for the three packaged workloads, so that the
+cost of the *dynamic* route (run and validate) can be compared against the
+*static* route (type checking) benchmarked in E1/E10.
+"""
+
+import pytest
+
+from repro.schema import conforms
+from repro.workloads import fhir, medical, social
+
+
+@pytest.mark.parametrize("scale", [10, 40, 160])
+def test_medical_migration_throughput(benchmark, scale):
+    instance = medical.random_instance(
+        vaccines=scale, antigens=scale, pathogens=scale // 2, seed=scale
+    )
+    migration = medical.migration()
+    output = benchmark(lambda: migration.apply(instance))
+    assert output.node_count() >= instance.node_count()
+
+
+@pytest.mark.parametrize("scale", [10, 40])
+def test_fhir_migration_throughput(benchmark, scale):
+    instance = fhir.random_instance(patients=scale, practitioners=scale // 2, encounters=scale, seed=scale)
+    migration = fhir.migration_v3_to_v4()
+    output = benchmark(lambda: migration.apply(instance))
+    assert conforms(output, fhir.schema_v4())
+
+
+@pytest.mark.parametrize("scale", [10, 30])
+def test_social_reification_throughput(benchmark, scale):
+    instance = social.random_instance(people=scale, groups=max(2, scale // 5), seed=scale)
+    reify = social.reification()
+    output = benchmark(lambda: reify.apply(instance))
+    assert conforms(output, social.schema_v2())
+
+
+def test_validation_after_migration(benchmark):
+    instance = medical.random_instance(vaccines=40, antigens=40, pathogens=20, seed=7)
+    output = medical.migration().apply(instance)
+    ok = benchmark(lambda: conforms(output, medical.target_schema()))
+    assert ok

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness (see DESIGN.md §4 and EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.workloads import medical
+
+
+@pytest.fixture(scope="session")
+def medical_schemas():
+    return medical.source_schema(), medical.target_schema()
+
+
+@pytest.fixture(scope="session")
+def medical_migration():
+    return medical.migration()

@@ -1,0 +1,113 @@
+"""Quickstart: schemas, graphs, queries, transformations, static analysis.
+
+Run with ``python examples/quickstart.py``.  The scenario is the paper's
+running example (Figure 1): a medical knowledge graph whose schema evolves,
+and the transformation that migrates the data.
+"""
+
+from repro import Schema, conforms, parse_c2rpq, parse_transformation, type_check
+from repro.analysis import check_equivalence, elicit_schema
+from repro.containment import ContainmentSolver
+from repro.graph import GraphBuilder
+from repro.rpq import eval_c2rpq
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. schemas with participation constraints (Figure 1)
+    # ------------------------------------------------------------------ #
+    source = Schema(
+        ["Vaccine", "Antigen", "Pathogen"],
+        ["designTarget", "crossReacting", "exhibits"],
+        name="S0",
+    )
+    source.set_edge("Vaccine", "designTarget", "Antigen", "1", "*")
+    source.set_edge("Antigen", "crossReacting", "Antigen", "*", "*")
+    source.set_edge("Pathogen", "exhibits", "Antigen", "+", "*")
+
+    target = Schema(
+        ["Vaccine", "Antigen", "Pathogen"],
+        ["designTarget", "targets", "exhibits"],
+        name="S1",
+    )
+    target.set_edge("Vaccine", "designTarget", "Antigen", "1", "*")
+    target.set_edge("Vaccine", "targets", "Antigen", "+", "*")
+    target.set_edge("Pathogen", "exhibits", "Antigen", "+", "*")
+
+    # ------------------------------------------------------------------ #
+    # 2. a conforming instance graph
+    # ------------------------------------------------------------------ #
+    graph = (
+        GraphBuilder()
+        .node("measles-vaccine", "Vaccine")
+        .node("H-protein", "Antigen")
+        .node("F-protein", "Antigen")
+        .node("measles-virus", "Pathogen")
+        .edge("measles-vaccine", "designTarget", "H-protein")
+        .edge("H-protein", "crossReacting", "F-protein")
+        .edge("measles-virus", "exhibits", "H-protein")
+        .edge("measles-virus", "exhibits", "F-protein")
+        .build()
+    )
+    print("instance conforms to S0:", conforms(graph, source))
+
+    # ------------------------------------------------------------------ #
+    # 3. querying with C2RPQs (Example 3.2)
+    # ------------------------------------------------------------------ #
+    query = parse_c2rpq(
+        "targeted(v, a) := (Vaccine . designTarget . crossReacting* . Antigen)(v, a)"
+    )
+    print("vaccine/antigen pairs:", sorted(eval_c2rpq(query, graph)))
+
+    # ------------------------------------------------------------------ #
+    # 4. the migration transformation (Example 4.1) and its application
+    # ------------------------------------------------------------------ #
+    migration = parse_transformation(
+        """
+        transformation T0 {
+          Vaccine(fV(x))              <- (Vaccine)(x);
+          Antigen(fA(x))              <- (Antigen)(x);
+          Pathogen(fP(x))             <- (Pathogen)(x);
+          designTarget(fV(x), fA(y))  <- (designTarget)(x, y);
+          targets(fV(x), fA(y))       <- (designTarget . crossReacting*)(x, y);
+          exhibits(fP(x), fA(y))      <- (exhibits)(x, y);
+        }
+        """
+    )
+    output = migration.apply(graph)
+    print("migrated graph conforms to S1:", conforms(output, target))
+
+    # ------------------------------------------------------------------ #
+    # 5. static analysis: type checking, elicitation, equivalence, containment
+    # ------------------------------------------------------------------ #
+    print(type_check(migration, source, target).summary())
+
+    elicited = elicit_schema(migration, source)
+    print("elicited target schema:")
+    print("  Vaccine -targets-> Antigen :", elicited.schema.multiplicity("Vaccine", "targets", "Antigen"))
+
+    redundant = parse_transformation(
+        """
+        transformation T0b {
+          Vaccine(fV(x))              <- (Vaccine)(x);
+          Antigen(fA(x))              <- (Antigen)(x);
+          Pathogen(fP(x))             <- (Pathogen)(x);
+          designTarget(fV(x), fA(y))  <- (designTarget)(x, y);
+          targets(fV(x), fA(y))       <- (designTarget)(x, y);
+          targets(fV(x), fA(y))       <- (designTarget . crossReacting*)(x, y);
+          exhibits(fP(x), fA(y))      <- (exhibits)(x, y);
+        }
+        """
+    )
+    print(check_equivalence(migration, redundant, source).summary())
+
+    solver = ContainmentSolver(source)
+    containment = solver.contains(
+        parse_c2rpq("p(x) := Vaccine(x)"),
+        parse_c2rpq("q(x) := (designTarget . crossReacting*)(x, y)"),
+    )
+    print("Example 4.5 containment:", containment.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Setuptools entry point.
+
+Kept as a classic ``setup.py`` (rather than PEP 517 metadata only) so that
+``pip install -e .`` works in offline environments that ship setuptools but
+not the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Static analysis of graph database transformations "
+        "(reproduction of Boneva et al., PODS 2023)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    author="Graph Transformation Analysis contributors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -1,0 +1,23 @@
+"""Static analysis of graph transformations: type checking, equivalence,
+target schema elicitation (the paper's core contribution)."""
+
+from .coverage import CoverageCheck, CoverageResult, check_label_coverage
+from .statements import StatementChecker, StatementEntailment
+from .typecheck import TypeCheckResult, type_check
+from .elicitation import ElicitationResult, elicit_schema
+from .equivalence import EquivalenceDifference, EquivalenceResult, check_equivalence
+
+__all__ = [
+    "CoverageCheck",
+    "CoverageResult",
+    "check_label_coverage",
+    "StatementChecker",
+    "StatementEntailment",
+    "TypeCheckResult",
+    "type_check",
+    "ElicitationResult",
+    "elicit_schema",
+    "EquivalenceDifference",
+    "EquivalenceResult",
+    "check_equivalence",
+]

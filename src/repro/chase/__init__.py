@@ -1,0 +1,25 @@
+"""Horn-ALCIF chase: pattern consistency and C2RPQ satisfiability modulo TBoxes."""
+
+from .labelsets import TBoxIndex
+from .tree import TreeChecker, TreeOutcome
+from .engine import ChaseEngine, ChaseResult
+from .solver import (
+    SatisfiabilityConfig,
+    SatisfiabilityResult,
+    SatisfiabilitySolver,
+    build_pattern,
+    is_satisfiable,
+)
+
+__all__ = [
+    "TBoxIndex",
+    "TreeChecker",
+    "TreeOutcome",
+    "ChaseEngine",
+    "ChaseResult",
+    "SatisfiabilityConfig",
+    "SatisfiabilityResult",
+    "SatisfiabilitySolver",
+    "build_pattern",
+    "is_satisfiable",
+]

@@ -1,0 +1,56 @@
+"""Containment of UC2RPQs in acyclic UC2RPQs modulo schema (Section 5)."""
+
+from .booleanize import Booleanization, booleanize
+from .schema_encoding import (
+    encode_query,
+    encode_uc2rpq,
+    filter_foreign_labels,
+    filter_query,
+    filter_uc2rpq,
+    interleave_regex,
+)
+from .rolling_up import RollingUp, roll_up
+from .entailment import (
+    entails_at_most,
+    entails_exists,
+    label_set_satisfiable,
+    triple_satisfiable,
+)
+from .cycle_reversal import (
+    CompletionConfig,
+    CompletionResult,
+    complete,
+    schema_has_finmod_cycle,
+    simplify_s_driven,
+)
+from .counterexample import Counterexample, enumerate_conforming_graphs, find_counterexample
+from .solver import ContainmentConfig, ContainmentResult, ContainmentSolver, contains
+
+__all__ = [
+    "Booleanization",
+    "booleanize",
+    "encode_query",
+    "encode_uc2rpq",
+    "filter_foreign_labels",
+    "filter_query",
+    "filter_uc2rpq",
+    "interleave_regex",
+    "RollingUp",
+    "roll_up",
+    "entails_at_most",
+    "entails_exists",
+    "label_set_satisfiable",
+    "triple_satisfiable",
+    "CompletionConfig",
+    "CompletionResult",
+    "complete",
+    "schema_has_finmod_cycle",
+    "simplify_s_driven",
+    "Counterexample",
+    "enumerate_conforming_graphs",
+    "find_counterexample",
+    "ContainmentConfig",
+    "ContainmentResult",
+    "ContainmentSolver",
+    "contains",
+]

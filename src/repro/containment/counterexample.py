@@ -1,0 +1,99 @@
+"""Explicit finite counterexamples to containment (a testing / debugging aid).
+
+``find_counterexample(P, Q, S, ...)`` enumerates small finite graphs that
+conform to the schema ``S`` and returns one on which some answer of ``P`` is
+not an answer of ``Q``.  The search is exhaustive up to the configured size,
+so it is *sound* (any graph returned is a genuine counterexample) but not
+complete; the main containment decision procedure lives in
+:mod:`repro.containment.solver`.  Tests use this module as an independent
+oracle: whenever the bounded search finds a counterexample, the solver must
+report non-containment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..rpq.evaluation import eval_uc2rpq
+from ..rpq.queries import UC2RPQ
+from ..schema.conformance import conforms
+from ..schema.schema import Schema
+
+__all__ = ["Counterexample", "enumerate_conforming_graphs", "find_counterexample"]
+
+
+@dataclass
+class Counterexample:
+    """A finite graph and an answer tuple witnessing non-containment."""
+
+    graph: Graph
+    answer: Tuple
+
+    def __str__(self) -> str:
+        return f"answer {self.answer!r} on\n{self.graph.describe()}"
+
+
+def enumerate_conforming_graphs(
+    schema: Schema,
+    max_nodes: int = 3,
+    max_graphs: Optional[int] = None,
+    max_attempts: int = 200_000,
+) -> Iterator[Graph]:
+    """Enumerate finite graphs conforming to *schema*, by increasing node count.
+
+    The enumeration assigns every node exactly one schema label and considers
+    every subset of the allowed edge triples; it is exponential and intended
+    for very small sizes only.  *max_attempts* bounds the number of candidate
+    graphs examined (conforming or not).
+    """
+    produced = 0
+    attempts = 0
+    labels = sorted(schema.node_labels)
+    edge_labels = sorted(schema.edge_labels)
+    for node_count in range(0, max_nodes + 1):
+        nodes = list(range(node_count))
+        for labelling in itertools.product(labels, repeat=node_count) if node_count else [()]:
+            possible_edges: List[Tuple[int, str, int]] = []
+            for source, target in itertools.product(nodes, repeat=2):
+                for edge_label in edge_labels:
+                    if not schema.forbids_edge(labelling[source], edge_label, labelling[target]):
+                        possible_edges.append((source, edge_label, target))
+            # iterate over subsets of the allowed edges (smallest first)
+            for size in range(0, len(possible_edges) + 1):
+                for chosen in itertools.combinations(possible_edges, size):
+                    attempts += 1
+                    if attempts > max_attempts:
+                        return
+                    graph = Graph()
+                    for node, label in zip(nodes, labelling):
+                        graph.add_node(node, [label])
+                    for source, edge_label, target in chosen:
+                        graph.add_edge(source, edge_label, target)
+                    if conforms(graph, schema):
+                        yield graph
+                        produced += 1
+                        if max_graphs is not None and produced >= max_graphs:
+                            return
+
+
+def find_counterexample(
+    left: UC2RPQ,
+    right: UC2RPQ,
+    schema: Schema,
+    max_nodes: int = 3,
+    max_graphs: int = 20_000,
+) -> Optional[Counterexample]:
+    """Search for a finite graph in ``L(S)`` where some answer of *left* is
+    missing from *right*; ``None`` when none exists within the bounds."""
+    for graph in enumerate_conforming_graphs(schema, max_nodes=max_nodes, max_graphs=max_graphs):
+        left_answers = eval_uc2rpq(left, graph)
+        if not left_answers:
+            continue
+        right_answers = eval_uc2rpq(right, graph)
+        missing = left_answers - right_answers
+        if missing:
+            return Counterexample(graph, sorted(missing, key=repr)[0])
+    return None

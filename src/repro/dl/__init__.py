@@ -1,0 +1,53 @@
+"""Description-logic layer: ALCIF concept inclusions, Horn TBoxes, the
+schema ↔ L0 correspondence and finite model checking."""
+
+from .concepts import (
+    AtMostOneCI,
+    ConceptInclusion,
+    ConceptNames,
+    DisjunctionCI,
+    ExistsCI,
+    ForAllCI,
+    NoExistsCI,
+    SubclassOf,
+    SubclassOfBottom,
+    TOP,
+    conj,
+    format_conjunction,
+)
+from .tbox import TBox, is_coherent_l0, is_l0_statement
+from .schema_tbox import (
+    disjointness_statements,
+    label_coverage_statement,
+    schema_from_l0,
+    schema_to_extended_tbox,
+    schema_to_l0,
+)
+from .model_check import conformance_tbox, conforms_via_tbox, holds_in, violated
+
+__all__ = [
+    "AtMostOneCI",
+    "ConceptInclusion",
+    "ConceptNames",
+    "DisjunctionCI",
+    "ExistsCI",
+    "ForAllCI",
+    "NoExistsCI",
+    "SubclassOf",
+    "SubclassOfBottom",
+    "TOP",
+    "conj",
+    "format_conjunction",
+    "TBox",
+    "is_coherent_l0",
+    "is_l0_statement",
+    "disjointness_statements",
+    "label_coverage_statement",
+    "schema_from_l0",
+    "schema_to_extended_tbox",
+    "schema_to_l0",
+    "conformance_tbox",
+    "conforms_via_tbox",
+    "holds_in",
+    "violated",
+]

@@ -1,0 +1,65 @@
+"""Finite model checking of ALCIF statements and Proposition B.1.
+
+These helpers connect the description-logic view and the schema view of a
+finite graph: ``conforms(G, S)`` holds exactly when ``G ⊨ T_S``, ``G ⊨ ⊤⊑⊔Γ_S``
+and ``G ⊨ A⊓B⊑⊥`` for distinct labels (Proposition B.1).  The functions are
+used by the test-suite as an independent oracle for the conformance checker
+and by the static-analysis layer when validating witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..graph.graph import Graph
+from ..schema.schema import Schema
+from .concepts import ConceptInclusion
+from .schema_tbox import (
+    disjointness_statements,
+    label_coverage_statement,
+    schema_to_l0,
+)
+from .tbox import TBox
+
+__all__ = [
+    "holds_in",
+    "violated",
+    "conforms_via_tbox",
+    "conformance_tbox",
+]
+
+
+def holds_in(graph: Graph, statements: Iterable[ConceptInclusion]) -> bool:
+    """``G ⊨ T`` for an iterable of statements."""
+    return all(statement.holds_in(graph) for statement in statements)
+
+
+def violated(graph: Graph, statements: Iterable[ConceptInclusion]) -> List[ConceptInclusion]:
+    """The statements from *statements* violated by *graph*."""
+    return [statement for statement in statements if not statement.holds_in(graph)]
+
+
+def conformance_tbox(schema: Schema) -> TBox:
+    """The full (non-Horn) TBox characterising conformance to *schema*:
+    ``T_S`` plus ``⊤ ⊑ ⊔Γ_S`` plus pairwise disjointness (Proposition B.1)."""
+    tbox = schema_to_l0(schema)
+    tbox.name = f"conformance({schema.name})"
+    tbox.extend(disjointness_statements(schema.node_labels))
+    if schema.node_labels:
+        tbox.add(label_coverage_statement(schema.node_labels))
+    return tbox
+
+
+def conforms_via_tbox(graph: Graph, schema: Schema) -> bool:
+    """Conformance checked through the description-logic characterisation.
+
+    This is an independent implementation of ``conforms(graph, schema)`` via
+    Proposition B.1, used by tests to cross-validate the two views.  Note that
+    the DL view does not constrain *edge* labels, so foreign edge labels are
+    checked separately here.
+    """
+    if not graph.edge_labels() <= schema.edge_labels:
+        return False
+    if not graph.node_labels() <= schema.node_labels:
+        return False
+    return conformance_tbox(schema).holds_in(graph)

@@ -1,0 +1,38 @@
+"""Labeled directed graphs — the data model of the paper (Section 3)."""
+
+from .graph import Graph, NodeId
+from .labels import Direction, SignedLabel, forward, inverse, signed_closure
+from .builder import GraphBuilder
+from .algorithms import (
+    Skeleton,
+    find_homomorphism,
+    is_c_sparse,
+    is_homomorphism,
+    isomorphic,
+    skeleton,
+    sparsity_constant,
+)
+from .io import dump_json, graph_from_dict, graph_to_dict, load_json, to_dot
+
+__all__ = [
+    "Graph",
+    "NodeId",
+    "Direction",
+    "SignedLabel",
+    "forward",
+    "inverse",
+    "signed_closure",
+    "GraphBuilder",
+    "Skeleton",
+    "find_homomorphism",
+    "is_c_sparse",
+    "is_homomorphism",
+    "isomorphic",
+    "skeleton",
+    "sparsity_constant",
+    "dump_json",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_json",
+    "to_dot",
+]

@@ -1,0 +1,267 @@
+"""Graph-theoretic notions used by the paper's model constructions.
+
+* homomorphisms between labeled graphs (used in the proof of Theorem 6.3 and
+  by the test suite to validate witnesses);
+* *c*-sparsity in the sense of Lee and Streinu as used in Section 6: a finite
+  connected graph with ``n`` nodes and ``m`` edges is *c*-sparse when
+  ``m ≤ n + c``;
+* (k, l)-skeletons: the core obtained by iteratively removing degree-1 nodes
+  (Lemma E.1), consisting of at most ``k`` distinguished nodes connected by at
+  most ``l`` internally disjoint simple paths;
+* isomorphism testing for small graphs (used by tests and by the
+  "equivalence up to isomorphism" discussion of Section 7).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .graph import Graph, NodeId
+
+__all__ = [
+    "is_homomorphism",
+    "find_homomorphism",
+    "is_c_sparse",
+    "sparsity_constant",
+    "skeleton",
+    "Skeleton",
+    "isomorphic",
+]
+
+
+def is_homomorphism(mapping: Dict[NodeId, NodeId], source: Graph, target: Graph) -> bool:
+    """Check that *mapping* is a homomorphism from *source* to *target*.
+
+    A homomorphism preserves node labels and the existence of labeled edges
+    (Section 6 of the paper).
+    """
+    for node in source.nodes():
+        if node not in mapping or not target.has_node(mapping[node]):
+            return False
+        if not source.labels(node) <= target.labels(mapping[node]):
+            return False
+    for u, label, v in source.edges():
+        if not target.has_edge(mapping[u], label, mapping[v]):
+            return False
+    return True
+
+
+def find_homomorphism(source: Graph, target: Graph) -> Optional[Dict[NodeId, NodeId]]:
+    """Search for a homomorphism from *source* to *target* by backtracking.
+
+    Exponential in the worst case; intended for the small graphs occurring in
+    tests and examples.
+    """
+    source_nodes = sorted(source.nodes(), key=repr)
+    target_nodes = sorted(target.nodes(), key=repr)
+
+    def candidates(node: NodeId) -> List[NodeId]:
+        required = source.labels(node)
+        return [t for t in target_nodes if required <= target.labels(t)]
+
+    assignment: Dict[NodeId, NodeId] = {}
+
+    def consistent(node: NodeId, image: NodeId) -> bool:
+        for u, label, v in source.edges():
+            if u == node and v in assignment:
+                if not target.has_edge(image, label, assignment[v]):
+                    return False
+            if v == node and u in assignment:
+                if not target.has_edge(assignment[u], label, image):
+                    return False
+            if u == node and v == node:
+                if not target.has_edge(image, label, image):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(source_nodes):
+            return True
+        node = source_nodes[index]
+        for image in candidates(node):
+            if consistent(node, image):
+                assignment[node] = image
+                if backtrack(index + 1):
+                    return True
+                del assignment[node]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def sparsity_constant(graph: Graph) -> int:
+    """Return ``m - n`` for a graph: the smallest ``c`` such that it is c-sparse.
+
+    For a connected graph this is the paper's measure; the query multigraph of
+    a connected C2RPQ with ``a`` atoms and ``v`` variables has constant
+    ``a - v ≥ -1``.
+    """
+    return graph.edge_count() - graph.node_count()
+
+
+def is_c_sparse(graph: Graph, c: int) -> bool:
+    """``True`` when the (finite, connected) graph has ``m ≤ n + c``."""
+    return graph.edge_count() <= graph.node_count() + c
+
+
+class Skeleton:
+    """The (k, l)-skeleton of a finite connected graph (Lemma E.1).
+
+    Attributes
+    ----------
+    distinguished:
+        the nodes of degree ≥ 3 (or the whole cycle collapsed to one node);
+    paths:
+        the maximal simple paths of degree-2 nodes connecting distinguished
+        nodes, each recorded as the full node sequence in the original graph;
+    removed_trees:
+        nodes that were pruned because they belonged to attached trees
+        (iteratively removed degree-≤1 nodes).
+    """
+
+    def __init__(
+        self,
+        distinguished: Set[NodeId],
+        paths: List[List[NodeId]],
+        removed_trees: Set[NodeId],
+    ) -> None:
+        self.distinguished = set(distinguished)
+        self.paths = [list(p) for p in paths]
+        self.removed_trees = set(removed_trees)
+
+    @property
+    def k(self) -> int:
+        """Number of distinguished nodes."""
+        return len(self.distinguished)
+
+    @property
+    def l(self) -> int:
+        """Number of connecting paths."""
+        return len(self.paths)
+
+    def is_within(self, k: int, l: int) -> bool:
+        """``True`` when this is a (k, l)-skeleton with the given bounds."""
+        return self.k <= k and self.l <= l
+
+
+def _undirected_adjacency(graph: Graph) -> Dict[NodeId, Set[Tuple[str, NodeId, bool]]]:
+    """Adjacency ignoring direction; each entry is (label, neighbour, is_outgoing)."""
+    adjacency: Dict[NodeId, Set[Tuple[str, NodeId, bool]]] = {n: set() for n in graph.nodes()}
+    for u, label, v in graph.edges():
+        adjacency[u].add((label, v, True))
+        adjacency[v].add((label, u, False))
+    return adjacency
+
+
+def skeleton(graph: Graph) -> Skeleton:
+    """Compute the skeleton of a finite connected graph.
+
+    Degree-1 nodes are removed exhaustively (they belong to attached trees);
+    the remainder is decomposed into distinguished nodes (degree ≥ 3) and the
+    simple paths of degree-2 nodes between them, matching Lemma E.1.
+    """
+    adjacency = _undirected_adjacency(graph)
+    degree = {node: len(edges) for node, edges in adjacency.items()}
+    removed: Set[NodeId] = set()
+
+    # exhaustively prune degree-<=1 nodes (attached trees)
+    frontier = [node for node, d in degree.items() if d <= 1]
+    while frontier:
+        node = frontier.pop()
+        if node in removed or degree.get(node, 0) > 1:
+            continue
+        removed.add(node)
+        for _, neighbour, _ in adjacency[node]:
+            if neighbour in removed:
+                continue
+            degree[neighbour] -= 1
+            if degree[neighbour] <= 1:
+                frontier.append(neighbour)
+
+    core = [node for node in graph.nodes() if node not in removed]
+    if not core:
+        return Skeleton(set(), [], removed)
+
+    core_set = set(core)
+    core_degree = {
+        node: sum(1 for _, nb, _ in adjacency[node] if nb in core_set) for node in core
+    }
+    distinguished = {node for node in core if core_degree[node] >= 3}
+    if not distinguished:
+        # the core is a single cycle (or a single node); pick one representative
+        distinguished = {sorted(core, key=repr)[0]}
+
+    # walk the degree-2 chains between distinguished nodes
+    paths: List[List[NodeId]] = []
+    visited_edges: Set[FrozenSet] = set()
+
+    def edge_key(a: NodeId, b: NodeId, label: str, outgoing: bool) -> Tuple:
+        return (a, b, label, outgoing) if repr(a) <= repr(b) else (b, a, label, not outgoing)
+
+    for start in sorted(distinguished, key=repr):
+        for label, neighbour, outgoing in sorted(adjacency[start], key=repr):
+            if neighbour not in core_set:
+                continue
+            key = frozenset([edge_key(start, neighbour, label, outgoing)])
+            if key in visited_edges:
+                continue
+            path = [start]
+            previous, current = start, neighbour
+            visited_edges.add(key)
+            while current not in distinguished:
+                path.append(current)
+                next_candidates = [
+                    (lab, nb, out)
+                    for lab, nb, out in adjacency[current]
+                    if nb in core_set and nb != previous
+                ]
+                if not next_candidates:
+                    break
+                lab, nb, out = sorted(next_candidates, key=repr)[0]
+                visited_edges.add(frozenset([edge_key(current, nb, lab, out)]))
+                previous, current = current, nb
+            path.append(current)
+            paths.append(path)
+
+    return Skeleton(distinguished, paths, removed)
+
+
+def isomorphic(left: Graph, right: Graph) -> bool:
+    """Exact isomorphism test by label-aware brute force (small graphs only)."""
+    if left.node_count() != right.node_count() or left.edge_count() != right.edge_count():
+        return False
+    left_nodes = sorted(left.nodes(), key=repr)
+    right_nodes = sorted(right.nodes(), key=repr)
+    left_profile = sorted((sorted(left.labels(n)), left.degree(n)) for n in left_nodes)
+    right_profile = sorted((sorted(right.labels(n)), right.degree(n)) for n in right_nodes)
+    if left_profile != right_profile:
+        return False
+    if len(left_nodes) > 8:
+        # fall back to a (sound but incomplete) refinement comparison for big graphs
+        return _signature(left) == _signature(right)
+    for perm in permutations(right_nodes):
+        mapping = dict(zip(left_nodes, perm))
+        if all(left.labels(n) == right.labels(mapping[n]) for n in left_nodes) and all(
+            right.has_edge(mapping[u], label, mapping[v]) for u, label, v in left.edges()
+        ):
+            return True
+    return False
+
+
+def _signature(graph: Graph) -> FrozenSet:
+    """1-round colour-refinement signature (used as an isomorphism heuristic)."""
+    colours = {node: frozenset(graph.labels(node)) for node in graph.nodes()}
+    for _ in range(3):
+        new_colours = {}
+        for node in graph.nodes():
+            outgoing = frozenset((label, colours[t]) for label, t in graph.out_neighbours(node))
+            incoming = frozenset((label, colours[s]) for label, s in graph.in_neighbours(node))
+            new_colours[node] = (colours[node], outgoing, incoming)
+        colours = new_colours
+    counts: Dict = {}
+    for value in colours.values():
+        counts[value] = counts.get(value, 0) + 1
+    return frozenset(counts.items())

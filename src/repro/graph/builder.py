@@ -1,0 +1,71 @@
+"""A small fluent builder for graphs, convenient in examples and tests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .graph import Graph, NodeId
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Fluent construction of :class:`~repro.graph.graph.Graph` instances.
+
+    Example
+    -------
+    >>> g = (GraphBuilder()
+    ...      .node("v1", "Vaccine")
+    ...      .node("a1", "Antigen")
+    ...      .edge("v1", "designTarget", "a1")
+    ...      .build())
+    >>> sorted(g.labels("v1"))
+    ['Vaccine']
+    """
+
+    def __init__(self) -> None:
+        self._graph = Graph()
+
+    def node(self, node: NodeId, *labels: str) -> "GraphBuilder":
+        """Add a node with the given labels."""
+        self._graph.add_node(node, labels)
+        return self
+
+    def nodes(self, nodes: Iterable[NodeId], *labels: str) -> "GraphBuilder":
+        """Add several nodes, all carrying the same labels."""
+        for node in nodes:
+            self._graph.add_node(node, labels)
+        return self
+
+    def edge(self, source: NodeId, label: str, target: NodeId) -> "GraphBuilder":
+        """Add an edge; endpoints are created when missing."""
+        self._graph.add_edge(source, label, target)
+        return self
+
+    def edges(self, triples: Iterable[tuple]) -> "GraphBuilder":
+        """Add several ``(source, label, target)`` edges."""
+        for source, label, target in triples:
+            self._graph.add_edge(source, label, target)
+        return self
+
+    def path(self, nodes: Iterable[NodeId], label: str) -> "GraphBuilder":
+        """Add a path of *label*-edges through *nodes* in order."""
+        previous = None
+        for node in nodes:
+            self._graph.add_node(node)
+            if previous is not None:
+                self._graph.add_edge(previous, label, node)
+            previous = node
+        return self
+
+    def cycle(self, nodes: Iterable[NodeId], label: str) -> "GraphBuilder":
+        """Add a cycle of *label*-edges through *nodes* in order."""
+        nodes = list(nodes)
+        self.path(nodes, label)
+        if len(nodes) >= 1:
+            self._graph.add_edge(nodes[-1], label, nodes[0])
+        return self
+
+    def build(self) -> Graph:
+        """Return the constructed graph."""
+        return self._graph

@@ -1,0 +1,115 @@
+"""Random and structured graph generators used by tests and benchmarks.
+
+Schema-aware generation (producing graphs that conform to a given schema with
+participation constraints) lives in :mod:`repro.workloads.synthetic`; this
+module only provides schema-agnostic building blocks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .graph import Graph
+
+__all__ = [
+    "random_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "random_tree",
+    "grid_graph",
+]
+
+
+def random_graph(
+    node_count: int,
+    node_labels: Sequence[str],
+    edge_labels: Sequence[str],
+    edge_probability: float = 0.1,
+    labels_per_node: int = 1,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Generate an Erdős–Rényi-style labeled graph.
+
+    Each ordered pair of distinct nodes receives each edge label independently
+    with probability *edge_probability*; each node receives *labels_per_node*
+    labels drawn uniformly from *node_labels*.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    nodes: List[int] = list(range(node_count))
+    for node in nodes:
+        labels = rng.sample(list(node_labels), k=min(labels_per_node, len(node_labels)))
+        graph.add_node(node, labels)
+    for source in nodes:
+        for target in nodes:
+            if source == target:
+                continue
+            for label in edge_labels:
+                if rng.random() < edge_probability:
+                    graph.add_edge(source, label, target)
+    return graph
+
+
+def path_graph(length: int, node_label: str, edge_label: str) -> Graph:
+    """A simple directed path of *length* edges, all nodes labeled alike."""
+    graph = Graph()
+    for index in range(length + 1):
+        graph.add_node(index, [node_label])
+    for index in range(length):
+        graph.add_edge(index, edge_label, index + 1)
+    return graph
+
+
+def cycle_graph(length: int, node_label: str, edge_label: str) -> Graph:
+    """A directed cycle of *length* nodes."""
+    graph = Graph()
+    for index in range(length):
+        graph.add_node(index, [node_label])
+    for index in range(length):
+        graph.add_edge(index, edge_label, (index + 1) % length)
+    return graph
+
+
+def star_graph(leaf_count: int, centre_label: str, leaf_label: str, edge_label: str) -> Graph:
+    """A star: one centre node with edges to *leaf_count* leaves."""
+    graph = Graph()
+    graph.add_node("centre", [centre_label])
+    for index in range(leaf_count):
+        leaf = f"leaf{index}"
+        graph.add_node(leaf, [leaf_label])
+        graph.add_edge("centre", edge_label, leaf)
+    return graph
+
+
+def random_tree(
+    node_count: int,
+    node_labels: Sequence[str],
+    edge_labels: Sequence[str],
+    seed: Optional[int] = None,
+) -> Graph:
+    """A uniformly random rooted tree with random labels (edges point to children)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for node in range(node_count):
+        graph.add_node(node, [rng.choice(list(node_labels))])
+    for node in range(1, node_count):
+        parent = rng.randrange(node)
+        graph.add_edge(parent, rng.choice(list(edge_labels)), node)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, node_label: str, right_label: str, down_label: str) -> Graph:
+    """A rows×cols grid with 'right' and 'down' edges; useful for evaluation benchmarks."""
+    graph = Graph()
+    for row in range(rows):
+        for col in range(cols):
+            graph.add_node((row, col), [node_label])
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                graph.add_edge((row, col), right_label, (row, col + 1))
+            if row + 1 < rows:
+                graph.add_edge((row, col), down_label, (row + 1, col))
+    return graph

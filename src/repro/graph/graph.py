@@ -1,0 +1,336 @@
+"""The labeled directed graph data model of the paper (Section 3).
+
+A graph is a relational structure over unary relation symbols (node labels Γ)
+and binary relation symbols (edge labels Σ): a set of nodes, a set of labels
+per node (possibly several, possibly none), and for every edge label a binary
+relation over the nodes.  Multiple edges between the same pair of nodes are
+allowed as long as they carry different labels, which is exactly what the
+relational representation gives us for free.
+
+Node identifiers can be arbitrary hashable Python values; the library uses
+strings, integers and :class:`repro.transform.constructors.ConstructedNode`
+instances (the Skolem terms created by transformations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from ..exceptions import GraphError
+from .labels import Direction, SignedLabel, forward, inverse
+
+NodeId = Hashable
+Edge = Tuple[NodeId, str, NodeId]
+
+__all__ = ["Graph", "NodeId", "Edge"]
+
+
+class Graph:
+    """A finite labeled directed graph.
+
+    The class maintains forward and backward adjacency indices so that both
+    directions of Σ± can be traversed in O(1) per neighbour, which the query
+    evaluator and the chase engine rely on.
+    """
+
+    __slots__ = ("_labels", "_out", "_in", "_edge_labels")
+
+    def __init__(self) -> None:
+        # node -> set of node labels
+        self._labels: Dict[NodeId, Set[str]] = {}
+        # node -> edge label -> set of successor nodes
+        self._out: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
+        # node -> edge label -> set of predecessor nodes
+        self._in: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
+        # all edge labels that occur in the graph
+        self._edge_labels: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: NodeId, labels: Iterable[str] = ()) -> NodeId:
+        """Add *node* (if not present) and attach the given labels to it."""
+        if node not in self._labels:
+            self._labels[node] = set()
+            self._out[node] = {}
+            self._in[node] = {}
+        for label in labels:
+            self.add_label(node, label)
+        return node
+
+    def add_label(self, node: NodeId, label: str) -> None:
+        """Attach a node label to an existing or new node."""
+        if not isinstance(label, str) or not label:
+            raise GraphError(f"invalid node label: {label!r}")
+        self.add_node(node)
+        self._labels[node].add(label)
+
+    def remove_label(self, node: NodeId, label: str) -> None:
+        """Remove a node label; silently ignores missing labels."""
+        if node in self._labels:
+            self._labels[node].discard(label)
+
+    def add_edge(self, source: NodeId, label: str, target: NodeId) -> None:
+        """Add an edge ``source -label-> target``; endpoints are created."""
+        if not isinstance(label, str) or not label:
+            raise GraphError(f"invalid edge label: {label!r}")
+        self.add_node(source)
+        self.add_node(target)
+        self._out[source].setdefault(label, set()).add(target)
+        self._in[target].setdefault(label, set()).add(source)
+        self._edge_labels.add(label)
+
+    def remove_edge(self, source: NodeId, label: str, target: NodeId) -> None:
+        """Remove an edge if present."""
+        out = self._out.get(source, {}).get(label)
+        if out is not None:
+            out.discard(target)
+        inc = self._in.get(target, {}).get(label)
+        if inc is not None:
+            inc.discard(source)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and every edge incident to it."""
+        if node not in self._labels:
+            return
+        for label, targets in list(self._out[node].items()):
+            for target in list(targets):
+                self.remove_edge(node, label, target)
+        for label, sources in list(self._in[node].items()):
+            for source in list(sources):
+                self.remove_edge(source, label, node)
+        del self._labels[node]
+        del self._out[node]
+        del self._in[node]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all node identifiers."""
+        return iter(self._labels)
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._labels)
+
+    def edge_count(self) -> int:
+        """Number of labeled edges."""
+        return sum(len(ts) for adj in self._out.values() for ts in adj.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(source, label, target)`` triples."""
+        for source, adjacency in self._out.items():
+            for label, targets in adjacency.items():
+                for target in targets:
+                    yield (source, label, target)
+
+    def has_node(self, node: NodeId) -> bool:
+        """``True`` when the node exists."""
+        return node in self._labels
+
+    def has_edge(self, source: NodeId, label: str, target: NodeId) -> bool:
+        """``True`` when the edge ``source -label-> target`` exists."""
+        return target in self._out.get(source, {}).get(label, ())
+
+    def labels(self, node: NodeId) -> FrozenSet[str]:
+        """Return the set of labels of *node* (empty if unlabeled)."""
+        if node not in self._labels:
+            raise GraphError(f"unknown node: {node!r}")
+        return frozenset(self._labels[node])
+
+    def has_label(self, node: NodeId, label: str) -> bool:
+        """``True`` when *node* carries *label*."""
+        return label in self._labels.get(node, ())
+
+    def nodes_with_label(self, label: str) -> Iterator[NodeId]:
+        """Iterate over all nodes carrying *label*."""
+        for node, labels in self._labels.items():
+            if label in labels:
+                yield node
+
+    def node_labels(self) -> FrozenSet[str]:
+        """Return the set of node labels occurring in the graph."""
+        result: Set[str] = set()
+        for labels in self._labels.values():
+            result |= labels
+        return frozenset(result)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """Return the set of edge labels occurring in the graph."""
+        return frozenset(
+            label
+            for adjacency in self._out.values()
+            for label, targets in adjacency.items()
+            if targets
+        )
+
+    def successors(self, node: NodeId, label: SignedLabel | str) -> FrozenSet[NodeId]:
+        """R-successors of *node* for a signed edge label R ∈ Σ±.
+
+        A plain string is interpreted as the forward direction.
+        """
+        if isinstance(label, str):
+            label = forward(label)
+        if label.direction is Direction.FORWARD:
+            return frozenset(self._out.get(node, {}).get(label.label, ()))
+        return frozenset(self._in.get(node, {}).get(label.label, ()))
+
+    def out_neighbours(self, node: NodeId) -> Iterator[Tuple[str, NodeId]]:
+        """Iterate over ``(edge label, target)`` pairs of outgoing edges."""
+        for label, targets in self._out.get(node, {}).items():
+            for target in targets:
+                yield label, target
+
+    def in_neighbours(self, node: NodeId) -> Iterator[Tuple[str, NodeId]]:
+        """Iterate over ``(edge label, source)`` pairs of incoming edges."""
+        for label, sources in self._in.get(node, {}).items():
+            for source in sources:
+                yield label, source
+
+    def neighbours(self, node: NodeId) -> Iterator[Tuple[SignedLabel, NodeId]]:
+        """Iterate over ``(signed label, neighbour)`` pairs in both directions."""
+        for label, target in self.out_neighbours(node):
+            yield forward(label), target
+        for label, source in self.in_neighbours(node):
+            yield inverse(label), source
+
+    def degree(self, node: NodeId) -> int:
+        """Total degree (in + out, counting labels separately)."""
+        out_deg = sum(len(ts) for ts in self._out.get(node, {}).values())
+        in_deg = sum(len(ss) for ss in self._in.get(node, {}).values())
+        return out_deg + in_deg
+
+    def is_empty(self) -> bool:
+        """``True`` when the graph has no nodes."""
+        return not self._labels
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph()
+        for node, labels in self._labels.items():
+            clone.add_node(node, labels)
+        for source, label, target in self.edges():
+            clone.add_edge(source, label, target)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Return the subgraph induced by *nodes*."""
+        keep = set(nodes)
+        result = Graph()
+        for node in keep:
+            if node in self._labels:
+                result.add_node(node, self._labels[node])
+        for source, label, target in self.edges():
+            if source in keep and target in keep:
+                result.add_edge(source, label, target)
+        return result
+
+    def merge_nodes(self, keep: NodeId, drop: NodeId) -> None:
+        """Merge node *drop* into node *keep* (labels and edges are unioned).
+
+        This is the operation used when building simple models (Theorem 6.3)
+        and by the chase when a functionality constraint forces two
+        successors to coincide.
+        """
+        if keep == drop:
+            return
+        if keep not in self._labels or drop not in self._labels:
+            raise GraphError("both nodes must exist to be merged")
+        for label in self._labels[drop]:
+            self._labels[keep].add(label)
+        for label, target in list(self.out_neighbours(drop)):
+            actual_target = keep if target == drop else target
+            self.add_edge(keep, label, actual_target)
+        for label, source in list(self.in_neighbours(drop)):
+            actual_source = keep if source == drop else source
+            self.add_edge(actual_source, label, keep)
+        self.remove_node(drop)
+
+    def relabel_nodes(self, mapping: Mapping[NodeId, NodeId]) -> "Graph":
+        """Return a copy with node identifiers renamed according to *mapping*.
+
+        Identifiers not present in *mapping* are kept.  If the mapping is not
+        injective the image nodes are merged.
+        """
+        result = Graph()
+        for node, labels in self._labels.items():
+            result.add_node(mapping.get(node, node), labels)
+        for source, label, target in self.edges():
+            result.add_edge(mapping.get(source, source), label, mapping.get(target, target))
+        return result
+
+    def union(self, other: "Graph") -> "Graph":
+        """Return the union of two graphs (shared node identifiers coincide)."""
+        result = self.copy()
+        for node in other.nodes():
+            result.add_node(node, other.labels(node))
+        for source, label, target in other.edges():
+            result.add_edge(source, label, target)
+        return result
+
+    def connected_components(self) -> Iterator[Set[NodeId]]:
+        """Yield the sets of nodes of the (weakly) connected components."""
+        seen: Set[NodeId] = set()
+        for start in self._labels:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for _, neighbour in self.neighbours(node):
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            yield component
+
+    def is_connected(self) -> bool:
+        """``True`` when the graph has at most one weakly connected component."""
+        components = list(self.connected_components())
+        return len(components) <= 1
+
+    # ------------------------------------------------------------------ #
+    # comparison
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._labels) != set(other._labels):
+            return False
+        for node, labels in self._labels.items():
+            if labels != other._labels[node]:
+                return False
+        return set(self.edges()) == set(other.edges())
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hashing
+        return id(self)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(nodes={self.node_count()}, edges={self.edge_count()})"
+
+    # ------------------------------------------------------------------ #
+    # pretty printing
+    # ------------------------------------------------------------------ #
+    def describe(self, max_nodes: Optional[int] = None) -> str:
+        """Return a human-readable multi-line description of the graph."""
+        lines = [f"graph with {self.node_count()} nodes and {self.edge_count()} edges"]
+        for index, node in enumerate(sorted(self._labels, key=repr)):
+            if max_nodes is not None and index >= max_nodes:
+                lines.append("  ...")
+                break
+            labels = ",".join(sorted(self._labels[node])) or "-"
+            lines.append(f"  {node!r} [{labels}]")
+            for label, target in sorted(self.out_neighbours(node), key=repr):
+                lines.append(f"    -{label}-> {target!r}")
+        return "\n".join(lines)

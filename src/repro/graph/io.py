@@ -1,0 +1,86 @@
+"""Serialisation of graphs: JSON documents, edge lists and GraphViz DOT.
+
+The on-disk JSON format is intentionally simple and stable::
+
+    {
+      "nodes": [{"id": "v1", "labels": ["Vaccine"]}, ...],
+      "edges": [{"source": "v1", "label": "designTarget", "target": "a1"}, ...]
+    }
+
+Node identifiers are serialised with ``str`` unless they already are strings
+or integers; deserialisation therefore round-trips graphs whose identifiers
+are strings or integers exactly, which covers all graphs produced by this
+library's generators and transformations (constructed nodes expose a stable
+string form).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..exceptions import GraphError
+from .graph import Graph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dump_json", "load_json", "to_dot"]
+
+
+def _serialise_node(node: Any) -> Union[str, int]:
+    if isinstance(node, (str, int)):
+        return node
+    return str(node)
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Convert a graph to a JSON-serialisable dictionary."""
+    nodes = [
+        {"id": _serialise_node(node), "labels": sorted(graph.labels(node))}
+        for node in sorted(graph.nodes(), key=repr)
+    ]
+    edges = [
+        {
+            "source": _serialise_node(source),
+            "label": label,
+            "target": _serialise_node(target),
+        }
+        for source, label, target in sorted(graph.edges(), key=repr)
+    ]
+    return {"nodes": nodes, "edges": edges}
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Rebuild a graph from the dictionary produced by :func:`graph_to_dict`."""
+    if not isinstance(data, dict) or "nodes" not in data or "edges" not in data:
+        raise GraphError("graph document must contain 'nodes' and 'edges'")
+    graph = Graph()
+    for entry in data["nodes"]:
+        graph.add_node(entry["id"], entry.get("labels", ()))
+    for entry in data["edges"]:
+        graph.add_edge(entry["source"], entry["label"], entry["target"])
+    return graph
+
+
+def dump_json(graph: Graph, path: Union[str, Path]) -> None:
+    """Write a graph to *path* as JSON."""
+    payload = graph_to_dict(graph)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, Path]) -> Graph:
+    """Read a graph previously written by :func:`dump_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def to_dot(graph: Graph, name: str = "G") -> str:
+    """Render a graph as a GraphViz DOT document (for documentation)."""
+    lines = [f"digraph {name} {{"]
+    ids = {node: f"n{index}" for index, node in enumerate(sorted(graph.nodes(), key=repr))}
+    for node, dot_id in ids.items():
+        labels = ",".join(sorted(graph.labels(node)))
+        display = f"{node}" if not labels else f"{node}\\n[{labels}]"
+        lines.append(f'  {dot_id} [label="{display}"];')
+    for source, label, target in sorted(graph.edges(), key=repr):
+        lines.append(f'  {ids[source]} -> {ids[target]} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The EXPTIME lower bound machinery of Appendix F: alternating Turing
+machines and the reduction to 2RPQ containment modulo schema."""
+
+from .atm import ATM, BLANK, LEFT_MARKER, RIGHT_MARKER, alternating_and_or_machine, even_ones_machine
+from .reduction import (
+    HardnessInstance,
+    build_instance,
+    containment_to_equivalence,
+    containment_to_typechecking,
+    nest,
+    tree_device_queries,
+    tree_device_schema,
+)
+
+__all__ = [
+    "ATM",
+    "BLANK",
+    "LEFT_MARKER",
+    "RIGHT_MARKER",
+    "alternating_and_or_machine",
+    "even_ones_machine",
+    "HardnessInstance",
+    "build_instance",
+    "containment_to_equivalence",
+    "containment_to_typechecking",
+    "nest",
+    "tree_device_queries",
+    "tree_device_schema",
+]

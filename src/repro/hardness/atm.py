@@ -1,0 +1,237 @@
+"""Polynomially space-bounded alternating Turing machines (Appendix F).
+
+The EXPTIME lower bound of the paper (Theorem F.1) is proved by reducing the
+acceptance problem of alternating Turing machines (ATMs) with a polynomial
+space bound to non-containment of Boolean 2RPQs modulo schema.  This module
+implements the exact ATM variant used in the reduction:
+
+* a single initial state that is never re-entered;
+* two final states ``q_yes`` and ``q_no``;
+* exactly two transition functions ``δ₁`` and ``δ₂`` (every non-final state
+  has precisely two applicable transitions per symbol);
+* boundary symbols ``⊲`` and ``⊳`` and the blank ``□`` handled by the
+  transition table.
+
+Acceptance is evaluated directly (least fixpoint over the finite
+configuration graph), which serves as the ground truth against which the
+reduction of :mod:`repro.hardness.reduction` is benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = ["ATM", "Transition", "LEFT_MARKER", "RIGHT_MARKER", "BLANK", "even_ones_machine", "alternating_and_or_machine"]
+
+LEFT_MARKER = "<"
+RIGHT_MARKER = ">"
+BLANK = "_"
+
+# a transition: (next state, written symbol, head move −1/+1)
+Transition = Tuple[str, str, int]
+
+# a configuration: (state, head position, tape contents as a tuple)
+Configuration = Tuple[str, int, Tuple[str, ...]]
+
+
+@dataclass
+class ATM:
+    """An alternating Turing machine in the normal form of Appendix F."""
+
+    alphabet: Tuple[str, ...]
+    existential_states: FrozenSet[str]
+    universal_states: FrozenSet[str]
+    initial_state: str
+    delta1: Dict[Tuple[str, str], Transition]
+    delta2: Dict[Tuple[str, str], Transition]
+    accept_state: str = "q_yes"
+    reject_state: str = "q_no"
+    name: str = "M"
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        overlap = self.existential_states & self.universal_states
+        if overlap:
+            raise ReproError(f"states cannot be both existential and universal: {sorted(overlap)}")
+        for final in (self.accept_state, self.reject_state):
+            if final in self.existential_states or final in self.universal_states:
+                raise ReproError(f"final state {final} must not be existential or universal")
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        """All states, initial first and finals last (a stable order for the reduction)."""
+        middle = sorted((self.existential_states | self.universal_states) - {self.initial_state})
+        ordered: List[str] = [self.initial_state]
+        ordered.extend(state for state in middle if state != self.initial_state)
+        ordered.extend([self.accept_state, self.reject_state])
+        # deduplicate, preserving order
+        seen: Set[str] = set()
+        unique = [state for state in ordered if not (state in seen or seen.add(state))]
+        return tuple(unique)
+
+    @property
+    def work_alphabet(self) -> Tuple[str, ...]:
+        """The tape alphabet including the blank and the boundary markers."""
+        extra = [symbol for symbol in (BLANK, LEFT_MARKER, RIGHT_MARKER) if symbol not in self.alphabet]
+        return tuple(self.alphabet) + tuple(extra)
+
+    def is_final(self, state: str) -> bool:
+        """``True`` for ``q_yes`` and ``q_no``."""
+        return state in (self.accept_state, self.reject_state)
+
+    # ------------------------------------------------------------------ #
+    def initial_configuration(self, word: str, space: int) -> Configuration:
+        """The initial configuration ``⊲ q₀ w □…□ ⊳`` with the given tape space."""
+        if space < len(word):
+            raise ReproError("the space bound must be at least the length of the input")
+        tape = (LEFT_MARKER,) + tuple(word) + (BLANK,) * (space - len(word)) + (RIGHT_MARKER,)
+        return (self.initial_state, 1, tape)
+
+    def successors(self, configuration: Configuration) -> List[Configuration]:
+        """The configurations reachable by ``δ₁`` and ``δ₂`` (empty for finals)."""
+        state, head, tape = configuration
+        if self.is_final(state):
+            return []
+        symbol = tape[head]
+        results = []
+        for table in (self.delta1, self.delta2):
+            transition = table.get((state, symbol))
+            if transition is None:
+                continue
+            next_state, written, move = transition
+            new_tape = tape[:head] + (written,) + tape[head + 1:]
+            new_head = head + move
+            if not 0 <= new_head < len(tape):
+                continue
+            results.append((next_state, new_head, new_tape))
+        return results
+
+    # ------------------------------------------------------------------ #
+    def accepts(self, word: str, space: Optional[int] = None, max_configurations: int = 200_000) -> bool:
+        """Evaluate acceptance by a least fixpoint over the configuration graph.
+
+        *space* defaults to ``len(word)`` (the reduction always makes the space
+        bound explicit); *max_configurations* guards against blow-ups.
+        """
+        space = space if space is not None else max(1, len(word))
+        initial = self.initial_configuration(word, space)
+
+        # explore the reachable configuration graph
+        reachable: Set[Configuration] = {initial}
+        frontier = [initial]
+        edges: Dict[Configuration, List[Configuration]] = {}
+        while frontier:
+            if len(reachable) > max_configurations:
+                raise ReproError("configuration graph exceeds the exploration budget")
+            configuration = frontier.pop()
+            successors = self.successors(configuration)
+            edges[configuration] = successors
+            for successor in successors:
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+
+        # least fixpoint of the acceptance predicate
+        accepting: Set[Configuration] = {
+            configuration for configuration in reachable if configuration[0] == self.accept_state
+        }
+        changed = True
+        while changed:
+            changed = False
+            for configuration in reachable:
+                if configuration in accepting:
+                    continue
+                state = configuration[0]
+                if self.is_final(state):
+                    continue
+                successors = edges.get(configuration, [])
+                if not successors:
+                    continue
+                if state in self.existential_states:
+                    accepted = any(successor in accepting for successor in successors)
+                else:
+                    accepted = all(successor in accepting for successor in successors)
+                if accepted:
+                    accepting.add(configuration)
+                    changed = True
+        return initial in accepting
+
+
+# --------------------------------------------------------------------------- #
+# example machines used by tests and benchmarks
+# --------------------------------------------------------------------------- #
+def even_ones_machine() -> ATM:
+    """A deterministic machine (as an ATM) accepting words over {0,1} with an
+    even number of 1s.  Both transition tables coincide, so alternation is
+    vacuous — a useful sanity baseline."""
+    states_even, states_odd = "q_even", "q_odd"
+    delta: Dict[Tuple[str, str], Transition] = {}
+
+    def walk(state: str, symbol: str, next_state: str) -> None:
+        delta[(state, symbol)] = (next_state, symbol, +1)
+
+    for state in (states_even, states_odd):
+        walk(state, "0", state)
+        walk(state, LEFT_MARKER, state)
+        walk(state, BLANK, state)
+    walk(states_even, "1", states_odd)
+    walk(states_odd, "1", states_even)
+    # at the right marker, accept iff the parity is even
+    delta[(states_even, RIGHT_MARKER)] = ("q_yes", RIGHT_MARKER, -1)
+    delta[(states_odd, RIGHT_MARKER)] = ("q_no", RIGHT_MARKER, -1)
+    start = "q_start"
+    delta[(start, LEFT_MARKER)] = (states_even, LEFT_MARKER, +1)
+    delta[(start, "0")] = (states_even, "0", +1)
+    delta[(start, BLANK)] = (states_even, BLANK, +1)
+    delta[(start, "1")] = (states_odd, "1", +1)
+    delta[(start, RIGHT_MARKER)] = ("q_yes", RIGHT_MARKER, -1)
+    return ATM(
+        alphabet=("0", "1"),
+        existential_states=frozenset({start, states_even, states_odd}),
+        universal_states=frozenset(),
+        initial_state=start,
+        delta1=dict(delta),
+        delta2=dict(delta),
+        name="EvenOnes",
+    )
+
+
+def alternating_and_or_machine() -> ATM:
+    """A tiny genuinely alternating machine.
+
+    The input is a word over {0,1} of length ≥ 2.  The machine universally
+    branches on the first cell (both branches must succeed) and existentially
+    on the second; a branch succeeds iff the cell it ends up reading is ``1``.
+    The machine therefore accepts exactly the words whose first symbol is 1
+    and, for the universal branch that moves on, whose second symbol is 1 —
+    i.e. words starting with "11".
+    """
+    delta1: Dict[Tuple[str, str], Transition] = {}
+    delta2: Dict[Tuple[str, str], Transition] = {}
+    start, universal, existential = "q_start", "q_all", "q_any"
+
+    # the head starts on the first input symbol: reject unless it is 1
+    for symbol in ("0", BLANK, RIGHT_MARKER, LEFT_MARKER):
+        delta1[(start, symbol)] = ("q_no", symbol, +1)
+        delta2[(start, symbol)] = ("q_no", symbol, +1)
+    delta1[(start, "1")] = (universal, "1", +1)
+    delta2[(start, "1")] = (universal, "1", +1)
+    # universal state reads the second symbol: branch 1 tests it, branch 2
+    # moves on to the existential state (which always succeeds)
+    for symbol in ("0", "1", BLANK, RIGHT_MARKER, LEFT_MARKER):
+        delta1[(universal, symbol)] = ("q_yes" if symbol == "1" else "q_no", symbol, +1)
+        delta2[(universal, symbol)] = (existential, symbol, +1)
+        delta1[(existential, symbol)] = ("q_yes", symbol, -1)
+        delta2[(existential, symbol)] = ("q_no", symbol, -1)
+    return ATM(
+        alphabet=("0", "1"),
+        existential_states=frozenset({start, existential}),
+        universal_states=frozenset({universal}),
+        initial_state=start,
+        delta1=delta1,
+        delta2=delta2,
+        name="AndOr",
+    )

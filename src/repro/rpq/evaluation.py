@@ -1,0 +1,195 @@
+"""Evaluation of 2RPQs, C2RPQs and UC2RPQs over finite graphs.
+
+The semantics follows Appendix A of the paper: a witnessing path alternates
+nodes and letters from Γ ∪ Σ±, where a node-label letter keeps the position
+(and checks the label) and a signed edge letter moves along an edge in the
+indicated direction.  Evaluation of a single regular expression is standard
+product-graph reachability between graph nodes and NFA states; a C2RPQ is
+evaluated by joining its atom relations with a straightforward backtracking
+join (adequate for the graph sizes used in static analysis and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph, NodeId
+from .automaton import NFA, build_nfa
+from .queries import Atom, C2RPQ, UC2RPQ, Variable
+from .regex import EdgeStep, NodeTest, Regex, Symbol
+
+__all__ = [
+    "eval_regex",
+    "eval_regex_from",
+    "eval_atom",
+    "eval_c2rpq",
+    "eval_uc2rpq",
+    "satisfies",
+    "witnessing_path",
+]
+
+
+def _product_reachable(
+    graph: Graph, nfa: NFA, start_nodes: Iterable[NodeId]
+) -> Dict[NodeId, Set[Tuple[NodeId, int]]]:
+    """For each start node, the set of reachable (node, state) configurations."""
+    result: Dict[NodeId, Set[Tuple[NodeId, int]]] = {}
+    for start in start_nodes:
+        visited: Set[Tuple[NodeId, int]] = {(start, state) for state in nfa.initial}
+        frontier = list(visited)
+        while frontier:
+            current_node, state = frontier.pop()
+            for symbol, next_state in nfa.transitions_from(state):
+                targets: Iterable[NodeId]
+                if isinstance(symbol, NodeTest):
+                    targets = (current_node,) if graph.has_label(current_node, symbol.label) else ()
+                elif isinstance(symbol, EdgeStep):
+                    targets = graph.successors(current_node, symbol.signed)
+                else:  # pragma: no cover - defensive
+                    targets = ()
+                for target in targets:
+                    configuration = (target, next_state)
+                    if configuration not in visited:
+                        visited.add(configuration)
+                        frontier.append(configuration)
+        result[start] = visited
+    return result
+
+
+def eval_regex_from(
+    regex: Regex, graph: Graph, sources: Iterable[NodeId], nfa: Optional[NFA] = None
+) -> Set[Tuple[NodeId, NodeId]]:
+    """Evaluate ``[regex]^G`` restricted to the given source nodes."""
+    nfa = nfa or build_nfa(regex)
+    reachable = _product_reachable(graph, nfa, sources)
+    answers: Set[Tuple[NodeId, NodeId]] = set()
+    for source, configurations in reachable.items():
+        for target, state in configurations:
+            if state in nfa.final:
+                answers.add((source, target))
+    return answers
+
+
+def eval_regex(regex: Regex, graph: Graph) -> Set[Tuple[NodeId, NodeId]]:
+    """Evaluate ``[regex]^G`` as a binary relation over the nodes of *graph*."""
+    return eval_regex_from(regex, graph, graph.nodes())
+
+
+def eval_atom(atom: Atom, graph: Graph) -> Set[Tuple[NodeId, NodeId]]:
+    """Evaluate a single atom as a relation over (source value, target value)."""
+    return eval_regex(atom.regex, graph)
+
+
+def eval_c2rpq(query: C2RPQ, graph: Graph) -> Set[Tuple[NodeId, ...]]:
+    """Evaluate a C2RPQ; answers are tuples over the query's free variables.
+
+    For a Boolean query the result is ``{()}`` when satisfied and ``set()``
+    otherwise, matching the paper's convention.
+    """
+    if not query.atoms:
+        return {()} if not query.free_variables else set()
+
+    # pre-compute atom relations, cheapest (smallest) first for the join order
+    relations: List[Tuple[Atom, Set[Tuple[NodeId, NodeId]]]] = []
+    for atom in query.atoms:
+        relations.append((atom, eval_atom(atom, graph)))
+    relations.sort(key=lambda pair: len(pair[1]))
+
+    answers: Set[Tuple[NodeId, ...]] = set()
+    assignment: Dict[Variable, NodeId] = {}
+
+    def backtrack(index: int) -> None:
+        if index == len(relations):
+            answers.add(tuple(assignment[v] for v in query.free_variables))
+            return
+        atom, relation = relations[index]
+        for source_value, target_value in relation:
+            bound_source = assignment.get(atom.source)
+            bound_target = assignment.get(atom.target)
+            if bound_source is not None and bound_source != source_value:
+                continue
+            if bound_target is not None and bound_target != target_value:
+                continue
+            if atom.source == atom.target and source_value != target_value:
+                continue
+            added = []
+            if bound_source is None:
+                assignment[atom.source] = source_value
+                added.append(atom.source)
+            if assignment.get(atom.target) is None:
+                assignment[atom.target] = target_value
+                added.append(atom.target)
+            backtrack(index + 1)
+            for variable in added:
+                del assignment[variable]
+
+    backtrack(0)
+    return answers
+
+
+def eval_uc2rpq(query: UC2RPQ, graph: Graph) -> Set[Tuple[NodeId, ...]]:
+    """Evaluate a union of C2RPQs (union of the disjuncts' answer sets)."""
+    answers: Set[Tuple[NodeId, ...]] = set()
+    for disjunct in query:
+        answers |= eval_c2rpq(disjunct, graph)
+    return answers
+
+
+def satisfies(graph: Graph, query) -> bool:
+    """``G ⊨ q`` for a Boolean C2RPQ or UC2RPQ (or the Boolean closure of one)."""
+    if isinstance(query, UC2RPQ):
+        return any(satisfies(graph, disjunct) for disjunct in query)
+    boolean = query.boolean() if query.free_variables else query
+    return bool(eval_c2rpq(boolean, graph))
+
+
+def witnessing_path(
+    regex: Regex, graph: Graph, source: NodeId, target: NodeId
+) -> Optional[List[Tuple[Symbol, NodeId]]]:
+    """Return one witnessing path for ``(source, target) ∈ [regex]^G``.
+
+    The path is returned as the list of ``(symbol, node reached)`` steps
+    (empty for an ε-match); ``None`` when no witnessing path exists.  Used by
+    the simple-model construction of Theorem 6.3 and by tests.
+    """
+    nfa = build_nfa(regex)
+    start_configurations = {(source, state) for state in nfa.initial}
+    parents: Dict[Tuple[NodeId, int], Tuple[Tuple[NodeId, int], Symbol]] = {}
+    visited = set(start_configurations)
+    frontier = list(start_configurations)
+    goal: Optional[Tuple[NodeId, int]] = None
+    for node_id, state in start_configurations:
+        if node_id == target and state in nfa.final:
+            return []
+    while frontier and goal is None:
+        current = frontier.pop(0)
+        current_node, state = current
+        for symbol, next_state in nfa.transitions_from(state):
+            if isinstance(symbol, NodeTest):
+                next_nodes: Iterable[NodeId] = (
+                    (current_node,) if graph.has_label(current_node, symbol.label) else ()
+                )
+            else:
+                next_nodes = graph.successors(current_node, symbol.signed)
+            for next_node in next_nodes:
+                configuration = (next_node, next_state)
+                if configuration in visited:
+                    continue
+                visited.add(configuration)
+                parents[configuration] = (current, symbol)
+                if next_node == target and next_state in nfa.final:
+                    goal = configuration
+                    break
+                frontier.append(configuration)
+            if goal is not None:
+                break
+    if goal is None:
+        return None
+    steps: List[Tuple[Symbol, NodeId]] = []
+    configuration = goal
+    while configuration in parents:
+        previous, symbol = parents[configuration]
+        steps.append((symbol, configuration[0]))
+        configuration = previous
+    steps.reverse()
+    return steps

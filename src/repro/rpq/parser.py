@@ -1,0 +1,237 @@
+"""Parser for the textual form of two-way regular expressions and C2RPQs.
+
+Regular expression syntax (mirroring the paper's notation)::
+
+    Vaccine . designTarget . crossReacting* . Antigen
+    (a . b . c+ . d . a)            # '+' directly after an operand is "one or more"
+    a + b                           # '+' between operands is union
+    r-                              # inverse edge label
+    <eps>, <empty>                  # ε and ∅
+
+Identifiers starting with an upper-case letter denote node labels (Γ); all
+other identifiers denote edge labels (Σ).  A trailing ``-`` marks an inverse
+edge label.  ``?`` is the zero-or-one postfix operator.
+
+C2RPQ syntax::
+
+    q(x, y) := (Vaccine . designTarget . crossReacting*)(x, y), Antigen(y)
+
+i.e. a head with free variables followed by ``:=`` and a comma-separated list
+of atoms ``(regex)(var, var)`` or ``Label(var)``; every variable not listed in
+the head is existentially quantified.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .regex import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Regex,
+    Star,
+    Union,
+    edge,
+    node,
+    optional,
+    plus,
+)
+
+__all__ = ["parse_regex", "parse_c2rpq", "parse_uc2rpq"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<star>\*)|(?P<plus>\+)|(?P<qmark>\?)"
+    r"|(?P<dot>\.|·)|(?P<eps><eps>|ε)|(?P<empty><empty>|∅)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*-?))"
+)
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if not match or match.end() == position:
+                remaining = text[position:].strip()
+                if not remaining:
+                    break
+                raise ParseError(f"unexpected character {text[position]!r}", position, text)
+            position = match.end()
+            for kind, value in match.groupdict().items():
+                if value is not None:
+                    self.tokens.append((kind, value, match.start()))
+                    break
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", len(self.text), self.text)
+        self.index += 1
+        return token
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a two-way regular expression from its textual form."""
+    tokenizer = _Tokenizer(text)
+    expr = _parse_union(tokenizer)
+    if tokenizer.peek() is not None:
+        kind, value, position = tokenizer.peek()
+        raise ParseError(f"unexpected token {value!r}", position, text)
+    return expr
+
+
+def _starts_operand(token: Optional[Tuple[str, str, int]]) -> bool:
+    return token is not None and token[0] in ("lpar", "ident", "eps", "empty")
+
+
+def _parse_union(tokens: _Tokenizer) -> Regex:
+    left = _parse_concat(tokens)
+    while True:
+        token = tokens.peek()
+        if token is None or token[0] != "plus":
+            return left
+        # '+' is union only when an operand follows; otherwise it is the
+        # postfix one-or-more operator already consumed by _parse_postfix.
+        lookahead = tokens.tokens[tokens.index + 1] if tokens.index + 1 < len(tokens.tokens) else None
+        if not _starts_operand(lookahead):
+            return left
+        tokens.next()
+        right = _parse_concat(tokens)
+        left = Union(left, right)
+
+
+def _parse_concat(tokens: _Tokenizer) -> Regex:
+    left = _parse_postfix(tokens)
+    while True:
+        token = tokens.peek()
+        if token is not None and token[0] == "dot":
+            tokens.next()
+            right = _parse_postfix(tokens)
+            left = Concat(left, right)
+        elif _starts_operand(token):
+            # juxtaposition also means concatenation
+            right = _parse_postfix(tokens)
+            left = Concat(left, right)
+        else:
+            return left
+
+
+def _parse_postfix(tokens: _Tokenizer) -> Regex:
+    expr = _parse_primary(tokens)
+    while True:
+        token = tokens.peek()
+        if token is None:
+            return expr
+        kind = token[0]
+        if kind == "star":
+            tokens.next()
+            expr = Star(expr)
+        elif kind == "qmark":
+            tokens.next()
+            expr = optional(expr)
+        elif kind == "plus":
+            lookahead = (
+                tokens.tokens[tokens.index + 1] if tokens.index + 1 < len(tokens.tokens) else None
+            )
+            if _starts_operand(lookahead):
+                return expr  # binary union, handled by _parse_union
+            tokens.next()
+            expr = plus(expr)
+        else:
+            return expr
+
+
+def _parse_primary(tokens: _Tokenizer) -> Regex:
+    kind, value, position = tokens.next()
+    if kind == "lpar":
+        expr = _parse_union(tokens)
+        closing = tokens.next()
+        if closing[0] != "rpar":
+            raise ParseError("expected ')'", closing[2], tokens.text)
+        return expr
+    if kind == "eps":
+        return EPSILON
+    if kind == "empty":
+        return EMPTY
+    if kind == "ident":
+        if value.endswith("-"):
+            return edge(value)
+        if value[:1].isupper():
+            return node(value)
+        return edge(value)
+    raise ParseError(f"unexpected token {value!r}", position, tokens.text)
+
+
+# --------------------------------------------------------------------------- #
+# C2RPQ parsing
+# --------------------------------------------------------------------------- #
+_HEAD_RE = re.compile(r"^\s*(?P<name>\w+)\s*\(\s*(?P<vars>[^)]*)\)\s*:=\s*(?P<body>.+)$", re.S)
+_ATOM_RE = re.compile(
+    r"^\s*(?:\(\s*(?P<regex>.+?)\s*\)|(?P<label>[A-Za-z_][A-Za-z0-9_]*-?))"
+    r"\s*\(\s*(?P<args>[^)]*)\)\s*$",
+    re.S,
+)
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split the body on commas that are not nested inside parentheses."""
+    atoms, depth, current = [], 0, []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            atoms.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        atoms.append("".join(current))
+    return [atom.strip() for atom in atoms if atom.strip()]
+
+
+def parse_c2rpq(text: str):
+    """Parse a C2RPQ written as ``q(x, y) := (regex)(x, y), Label(z), ...``."""
+    from .queries import Atom, C2RPQ  # local import to avoid a cycle
+
+    match = _HEAD_RE.match(text.strip())
+    if not match:
+        raise ParseError("expected 'name(vars) := atoms'", text=text)
+    name = match.group("name")
+    head_vars = [v.strip() for v in match.group("vars").split(",") if v.strip()]
+    atoms = []
+    for atom_text in _split_atoms(match.group("body")):
+        atom_match = _ATOM_RE.match(atom_text)
+        if not atom_match:
+            raise ParseError(f"could not parse atom {atom_text!r}", text=text)
+        if atom_match.group("regex") is not None:
+            expr = parse_regex(atom_match.group("regex"))
+        else:
+            expr = parse_regex(atom_match.group("label"))
+        args = [v.strip() for v in atom_match.group("args").split(",") if v.strip()]
+        if len(args) == 1:
+            atoms.append(Atom(expr, args[0], args[0]))
+        elif len(args) == 2:
+            atoms.append(Atom(expr, args[0], args[1]))
+        else:
+            raise ParseError(f"atoms take one or two variables, got {args!r}", text=text)
+    return C2RPQ(atoms, free_variables=head_vars, name=name)
+
+
+def parse_uc2rpq(texts, name: str = "Q"):
+    """Parse a union of C2RPQs from an iterable of C2RPQ documents."""
+    from .queries import UC2RPQ
+
+    return UC2RPQ([parse_c2rpq(text) for text in texts], name=name)

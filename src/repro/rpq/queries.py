@@ -1,0 +1,362 @@
+"""Conjunctive two-way regular path queries (C2RPQs) and their unions.
+
+A C2RPQ is a conjunction of atoms ``φ(z, z')`` where ``φ`` is a two-way
+regular expression; variables not listed among the free variables are
+existentially quantified (Section 3, Appendix A of the paper).
+
+The module implements the paper's notions around queries:
+
+* *trivial* atoms ``∅(x,x)``, ``ε(x,x)``, ``A(x,x)`` written as unary atoms;
+* the *query multigraph* (variables as nodes, one edge per non-trivial atom)
+  and the acyclicity criterion used throughout the paper — note this is more
+  restrictive than Gaifman-graph acyclicity: parallel atoms between the same
+  pair of variables and non-trivial self-loop atoms already create cycles;
+* Boolean queries and unions of C2RPQs (UC2RPQs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import AcyclicityError, QueryError
+from .regex import (
+    EPSILON,
+    EmptyLanguage,
+    Epsilon,
+    NodeTest,
+    Regex,
+    node,
+)
+
+__all__ = ["Atom", "C2RPQ", "UC2RPQ", "Variable", "label_atom", "equality_atom"]
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``φ(source, target)`` of a C2RPQ."""
+
+    regex: Regex
+    source: Variable
+    target: Variable
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.regex, Regex):
+            raise QueryError(f"atom expects a Regex, got {self.regex!r}")
+        for variable in (self.source, self.target):
+            if not isinstance(variable, str) or not variable:
+                raise QueryError(f"invalid variable name: {variable!r}")
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables of the atom (one or two)."""
+        if self.source == self.target:
+            return (self.source,)
+        return (self.source, self.target)
+
+    def is_trivial(self) -> bool:
+        """Trivial atoms are ``∅(x,x)``, ``ε(x,x)`` and ``A(x,x)`` (same variable,
+        regex that matches only empty paths or nothing)."""
+        if self.source != self.target:
+            return False
+        return isinstance(self.regex, (EmptyLanguage, Epsilon, NodeTest))
+
+    def is_self_loop(self) -> bool:
+        """``True`` for non-trivial atoms over a single variable."""
+        return self.source == self.target and not self.is_trivial()
+
+    def reversed(self) -> "Atom":
+        """The same atom read in the other direction: ``φ⁻(target, source)``."""
+        return Atom(self.regex.reverse(), self.target, self.source)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Atom":
+        """Rename variables according to *mapping*."""
+        return Atom(
+            self.regex,
+            mapping.get(self.source, self.source),
+            mapping.get(self.target, self.target),
+        )
+
+    def __str__(self) -> str:
+        if self.is_trivial():
+            return f"{self.regex}({self.source})"
+        return f"({self.regex})({self.source}, {self.target})"
+
+
+def label_atom(label: str, variable: Variable) -> Atom:
+    """The unary atom ``A(x)``, i.e. ``A(x, x)``."""
+    return Atom(node(label), variable, variable)
+
+
+def equality_atom(left: Variable, right: Variable) -> Atom:
+    """The equality ``x = y`` expressed as ``ε(x, y)`` (Section 4)."""
+    return Atom(EPSILON, left, right)
+
+
+class C2RPQ:
+    """A conjunctive two-way regular path query."""
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        free_variables: Optional[Sequence[Variable]] = None,
+        name: str = "q",
+    ) -> None:
+        self.name = name
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        mentioned = self.variables()
+        if free_variables is None:
+            self.free_variables: Tuple[Variable, ...] = tuple(sorted(mentioned))
+        else:
+            self.free_variables = tuple(free_variables)
+            unknown = [v for v in self.free_variables if v not in mentioned]
+            if unknown and self.atoms:
+                raise QueryError(f"free variables {unknown} do not occur in any atom")
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the query."""
+        result: Set[Variable] = set()
+        for atom in self.atoms:
+            result.update(atom.variables)
+        return frozenset(result)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Variables that are existentially quantified."""
+        return self.variables() - frozenset(self.free_variables)
+
+    def is_boolean(self) -> bool:
+        """``True`` when all variables are existentially quantified."""
+        return not self.free_variables
+
+    def arity(self) -> int:
+        """Number of free variables."""
+        return len(self.free_variables)
+
+    def node_labels(self) -> FrozenSet[str]:
+        """Node labels from Γ mentioned anywhere in the query."""
+        result: Set[str] = set()
+        for atom in self.atoms:
+            result |= atom.regex.node_labels()
+        return frozenset(result)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """Edge labels from Σ mentioned anywhere in the query."""
+        result: Set[str] = set()
+        for atom in self.atoms:
+            result |= atom.regex.edge_labels()
+        return frozenset(result)
+
+    def size(self) -> int:
+        """Total size of the regular expressions (complexity parameter |q|)."""
+        return sum(atom.regex.size() for atom in self.atoms)
+
+    def multigraph_edges(self) -> List[Tuple[Variable, Variable]]:
+        """Edges of the query multigraph: one per non-trivial atom."""
+        return [(a.source, a.target) for a in self.atoms if not a.is_trivial()]
+
+    def is_acyclic(self) -> bool:
+        """Acyclicity in the paper's sense.
+
+        The multigraph of the query must not contain a path of *distinct*
+        edges visiting a node twice: no non-trivial self-loop atoms, no two
+        parallel non-trivial atoms between the same pair of variables and no
+        undirected cycle through distinct variables.
+        """
+        edges = self.multigraph_edges()
+        seen_pairs: Set[FrozenSet[Variable]] = set()
+        for source, target in edges:
+            if source == target:
+                return False
+            pair = frozenset((source, target))
+            if pair in seen_pairs:
+                return False
+            seen_pairs.add(pair)
+        # union-find over variables to detect undirected cycles
+        parent: Dict[Variable, Variable] = {v: v for v in self.variables()}
+
+        def find(v: Variable) -> Variable:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for source, target in edges:
+            root_s, root_t = find(source), find(target)
+            if root_s == root_t:
+                return False
+            parent[root_s] = root_t
+        return True
+
+    def require_acyclic(self) -> "C2RPQ":
+        """Return ``self`` or raise :class:`AcyclicityError`."""
+        if not self.is_acyclic():
+            raise AcyclicityError(f"query {self.name} is not acyclic")
+        return self
+
+    def is_connected(self) -> bool:
+        """``True`` when the query multigraph (plus isolated variables) is connected."""
+        return len(self.connected_components()) <= 1
+
+    def connected_components(self) -> List["C2RPQ"]:
+        """Split the query into its connected components (Boolean sub-queries
+        keep their free variables)."""
+        variables = sorted(self.variables())
+        if not variables:
+            return [self]
+        parent: Dict[Variable, Variable] = {v: v for v in variables}
+
+        def find(v: Variable) -> Variable:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        def union(a: Variable, b: Variable) -> None:
+            parent[find(a)] = find(b)
+
+        for atom in self.atoms:
+            union(atom.source, atom.target)
+        groups: Dict[Variable, List[Atom]] = {}
+        for atom in self.atoms:
+            groups.setdefault(find(atom.source), []).append(atom)
+        components = []
+        for index, (root, atoms) in enumerate(sorted(groups.items())):
+            component_vars = {v for a in atoms for v in a.variables}
+            free = [v for v in self.free_variables if v in component_vars]
+            components.append(C2RPQ(atoms, free, name=f"{self.name}#{index}"))
+        return components
+
+    # ------------------------------------------------------------------ #
+    # transformations of the query
+    # ------------------------------------------------------------------ #
+    def rename(self, mapping: Dict[Variable, Variable]) -> "C2RPQ":
+        """Rename variables according to *mapping* (free variables included)."""
+        return C2RPQ(
+            [atom.rename(mapping) for atom in self.atoms],
+            [mapping.get(v, v) for v in self.free_variables],
+            name=self.name,
+        )
+
+    def with_fresh_variables(self, suffix: str) -> "C2RPQ":
+        """Append *suffix* to every variable name (used when conjoining copies)."""
+        mapping = {v: f"{v}{suffix}" for v in self.variables()}
+        return self.rename(mapping)
+
+    def boolean(self) -> "C2RPQ":
+        """The Boolean query obtained by quantifying all free variables."""
+        return C2RPQ(self.atoms, [], name=self.name)
+
+    def conjoin(self, other: "C2RPQ", name: Optional[str] = None) -> "C2RPQ":
+        """Conjunction of two queries; shared variable names are shared variables."""
+        return C2RPQ(
+            list(self.atoms) + list(other.atoms),
+            list(self.free_variables) + [v for v in other.free_variables if v not in self.free_variables],
+            name=name or f"{self.name}&{other.name}",
+        )
+
+    def project(self, free_variables: Sequence[Variable]) -> "C2RPQ":
+        """Existentially quantify everything except *free_variables*."""
+        return C2RPQ(self.atoms, free_variables, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, C2RPQ):
+            return NotImplemented
+        return (
+            set(self.atoms) == set(other.atoms) and self.free_variables == other.free_variables
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.atoms), self.free_variables))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.atoms) or "<true>"
+        head = ", ".join(self.free_variables)
+        return f"{self.name}({head}) := {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C2RPQ({str(self)!r})"
+
+
+class UC2RPQ:
+    """A union of C2RPQs, all of the same arity."""
+
+    def __init__(self, disjuncts: Iterable[C2RPQ], name: str = "Q") -> None:
+        self.name = name
+        self.disjuncts: Tuple[C2RPQ, ...] = tuple(disjuncts)
+        arities = {d.arity() for d in self.disjuncts}
+        if len(arities) > 1:
+            raise QueryError(f"all disjuncts of a UC2RPQ must share their arity, got {arities}")
+
+    @classmethod
+    def from_query(cls, query: C2RPQ, name: Optional[str] = None) -> "UC2RPQ":
+        """Wrap a single C2RPQ as a union."""
+        return cls([query], name=name or query.name)
+
+    def arity(self) -> int:
+        """Arity of the union (0 when there is no disjunct)."""
+        return self.disjuncts[0].arity() if self.disjuncts else 0
+
+    def is_boolean(self) -> bool:
+        """``True`` when the union is Boolean."""
+        return self.arity() == 0
+
+    def is_acyclic(self) -> bool:
+        """``True`` when every disjunct is acyclic."""
+        return all(d.is_acyclic() for d in self.disjuncts)
+
+    def is_empty(self) -> bool:
+        """``True`` when the union has no disjunct (unsatisfiable query)."""
+        return not self.disjuncts
+
+    def node_labels(self) -> FrozenSet[str]:
+        """Node labels mentioned in any disjunct."""
+        result: Set[str] = set()
+        for disjunct in self.disjuncts:
+            result |= disjunct.node_labels()
+        return frozenset(result)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """Edge labels mentioned in any disjunct."""
+        result: Set[str] = set()
+        for disjunct in self.disjuncts:
+            result |= disjunct.edge_labels()
+        return frozenset(result)
+
+    def size(self) -> int:
+        """Total size of the union."""
+        return sum(d.size() for d in self.disjuncts)
+
+    def boolean(self) -> "UC2RPQ":
+        """Quantify away all free variables in every disjunct."""
+        return UC2RPQ([d.boolean() for d in self.disjuncts], name=self.name)
+
+    def map(self, function) -> "UC2RPQ":
+        """Apply *function* to every disjunct and collect the results."""
+        return UC2RPQ([function(d) for d in self.disjuncts], name=self.name)
+
+    def __iter__(self) -> Iterator[C2RPQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UC2RPQ):
+            return NotImplemented
+        return set(self.disjuncts) == set(other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.disjuncts))
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(d) for d in self.disjuncts) or f"{self.name} := <false>"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UC2RPQ({self.name!r}, {len(self.disjuncts)} disjuncts)"

@@ -1,0 +1,329 @@
+"""Two-way regular expressions over node labels Γ and signed edge labels Σ±.
+
+The grammar is the one from Section 3 / Appendix A of the paper::
+
+    φ ::= ∅ | ε | A | R | φ·φ | φ+φ | φ*
+
+where ``A ∈ Γ`` matches a node (the path stays in place and checks the node
+label) and ``R ∈ Σ±`` matches an edge traversed forwards or backwards.  The
+one-or-more operator ``φ⁺`` is provided as syntactic sugar for ``φ·φ*``.
+
+Expressions are immutable and hashable; the module also implements the
+*reversal* operation ``φ⁻`` used by the paper's nesting device (Appendix F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from ..exceptions import QueryError
+from ..graph.labels import SignedLabel
+
+__all__ = [
+    "Regex",
+    "EmptyLanguage",
+    "Epsilon",
+    "NodeTest",
+    "EdgeStep",
+    "Concat",
+    "Union",
+    "Star",
+    "EMPTY",
+    "EPSILON",
+    "node",
+    "edge",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "optional",
+    "word",
+    "Symbol",
+]
+
+# A symbol of the underlying alphabet: either a node-label test or an edge step.
+Symbol = Union["NodeTest", "EdgeStep"]
+
+
+class Regex:
+    """Base class of two-way regular expressions."""
+
+    # -- structural helpers -------------------------------------------------
+    def children(self) -> Tuple["Regex", ...]:
+        """Direct sub-expressions."""
+        return ()
+
+    def node_labels(self) -> FrozenSet[str]:
+        """Node labels from Γ mentioned in the expression."""
+        result = set()
+        for symbol in self.symbols():
+            if isinstance(symbol, NodeTest):
+                result.add(symbol.label)
+        return frozenset(result)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """Base edge labels from Σ mentioned in the expression."""
+        result = set()
+        for symbol in self.symbols():
+            if isinstance(symbol, EdgeStep):
+                result.add(symbol.signed.label)
+        return frozenset(result)
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate over the alphabet symbols occurring in the expression."""
+        for child in self.children():
+            yield from child.symbols()
+
+    def size(self) -> int:
+        """Number of AST nodes (used by complexity-oriented benchmarks)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def reverse(self) -> "Regex":
+        """The reversed expression φ⁻ (Appendix F): words read right-to-left
+        with every edge step inverted."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """``True`` when ε belongs to the language."""
+        raise NotImplementedError
+
+    def is_empty_language(self) -> bool:
+        """``True`` when the language is syntactically guaranteed to be empty."""
+        return False
+
+    # -- operator sugar ------------------------------------------------------
+    def __mul__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - dataclasses override
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - dataclasses override
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EmptyLanguage(Regex):
+    """``∅`` — matches no path at all."""
+
+    def reverse(self) -> Regex:
+        return self
+
+    def nullable(self) -> bool:
+        return False
+
+    def is_empty_language(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "<empty>"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """``ε`` — matches the empty path (any node to itself)."""
+
+    def reverse(self) -> Regex:
+        return self
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "<eps>"
+
+
+@dataclass(frozen=True)
+class NodeTest(Regex):
+    """``A`` — matches an empty path whose (single) node carries label ``A``."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise QueryError(f"invalid node label in regex: {self.label!r}")
+
+    def symbols(self) -> Iterator[Symbol]:
+        yield self
+
+    def reverse(self) -> Regex:
+        return self
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class EdgeStep(Regex):
+    """``R`` for ``R ∈ Σ±`` — traverses one edge, forwards or backwards."""
+
+    signed: SignedLabel
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.signed, SignedLabel):
+            raise QueryError(f"EdgeStep expects a SignedLabel, got {self.signed!r}")
+
+    def symbols(self) -> Iterator[Symbol]:
+        yield self
+
+    def reverse(self) -> Regex:
+        return EdgeStep(self.signed.inverse())
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return str(self.signed)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """``φ·ψ`` — concatenation of paths."""
+
+    left: Regex
+    right: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def reverse(self) -> Regex:
+        return Concat(self.right.reverse(), self.left.reverse())
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def is_empty_language(self) -> bool:
+        return self.left.is_empty_language() or self.right.is_empty_language()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, Union)} . {_wrap(self.right, Union)}"
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """``φ+ψ`` — union of languages."""
+
+    left: Regex
+    right: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def reverse(self) -> Regex:
+        return Union(self.left.reverse(), self.right.reverse())
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def is_empty_language(self) -> bool:
+        return self.left.is_empty_language() and self.right.is_empty_language()
+
+    def __str__(self) -> str:
+        return f"{self.left} + {self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """``φ*`` — zero or more repetitions."""
+
+    inner: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def reverse(self) -> Regex:
+        return Star(self.inner.reverse())
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, (Union, Concat))}*"
+
+
+def _wrap(expr: Regex, kinds) -> str:
+    """Parenthesise sub-expressions of looser precedence when printing."""
+    if isinstance(expr, kinds):
+        return f"({expr})"
+    return str(expr)
+
+
+# --------------------------------------------------------------------------- #
+# convenience constructors
+# --------------------------------------------------------------------------- #
+EMPTY = EmptyLanguage()
+EPSILON = Epsilon()
+
+
+def node(label: str) -> NodeTest:
+    """Node-label test ``A``."""
+    return NodeTest(label)
+
+
+def edge(label: Union[str, SignedLabel]) -> EdgeStep:
+    """Edge step ``r`` / ``r⁻`` (``"r-"`` in textual form)."""
+    if isinstance(label, str):
+        label = SignedLabel.parse(label)
+    return EdgeStep(label)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation of any number of expressions (ε for the empty product)."""
+    result: Regex = EPSILON
+    first = True
+    for part in parts:
+        result = part if first else Concat(result, part)
+        first = False
+    return result
+
+
+def union(*parts: Regex) -> Regex:
+    """Union of any number of expressions (∅ for the empty sum)."""
+    result: Regex = EMPTY
+    first = True
+    for part in parts:
+        result = part if first else Union(result, part)
+        first = False
+    return result
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star ``φ*``."""
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """One-or-more ``φ⁺``, desugared to ``φ·φ*``."""
+    return Concat(inner, Star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """Zero-or-one ``φ?``, desugared to ``φ+ε``."""
+    return Union(inner, EPSILON)
+
+
+def word(*steps: Union[str, SignedLabel, Regex]) -> Regex:
+    """Build the concatenation of atomic steps given in compact textual form.
+
+    Strings starting with an upper-case letter are treated as node labels;
+    anything else as (possibly inverse) edge labels — which matches the
+    notational convention of the paper.  ``Regex`` arguments pass through.
+    """
+    parts = []
+    for step in steps:
+        if isinstance(step, Regex):
+            parts.append(step)
+        elif isinstance(step, SignedLabel):
+            parts.append(EdgeStep(step))
+        elif isinstance(step, str) and step[:1].isupper():
+            parts.append(NodeTest(step))
+        else:
+            parts.append(edge(step))
+    return concat(*parts)

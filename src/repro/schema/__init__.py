@@ -1,0 +1,26 @@
+"""Graph schemas with participation constraints (Section 3 of the paper)."""
+
+from .schema import Multiplicity, Schema
+from .conformance import ConformanceReport, Violation, check_conformance, conforms
+from .containment import (
+    ContainmentCounterexample,
+    schema_contained_in,
+    schema_containment_counterexamples,
+    schema_equivalent,
+)
+from .parser import parse_schema, schema_to_text
+
+__all__ = [
+    "Multiplicity",
+    "Schema",
+    "ConformanceReport",
+    "Violation",
+    "check_conformance",
+    "conforms",
+    "ContainmentCounterexample",
+    "schema_contained_in",
+    "schema_containment_counterexamples",
+    "schema_equivalent",
+    "parse_schema",
+    "schema_to_text",
+]

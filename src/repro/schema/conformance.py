@@ -1,0 +1,148 @@
+"""Conformance of a graph to a schema (Section 3).
+
+A graph conforms to a schema ``S`` when
+
+1. every node has exactly one label, taken from ``Γ_S``, and every edge label
+   belongs to ``Σ_S``;
+2. for all ``A, B ∈ Γ_S`` and ``R ∈ Σ±_S``, every ``A``-node has a number of
+   ``R``-successors labeled ``B`` that satisfies ``δ_S(A, R, B)``.
+
+The checker reports precise violations so that tests and users can see *why*
+a graph fails to conform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph.graph import Graph, NodeId
+from ..graph.labels import SignedLabel, signed_closure
+from .schema import Multiplicity, Schema
+
+__all__ = ["Violation", "ConformanceReport", "check_conformance", "conforms"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single conformance violation, attached to the offending node."""
+
+    kind: str
+    node: NodeId
+    message: str
+    source_label: Optional[str] = None
+    edge: Optional[SignedLabel] = None
+    target_label: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] node {self.node!r}: {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance check."""
+
+    schema_name: str
+    violations: List[Violation]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no violation was found."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """One line per violation, or a success message."""
+        if self.ok:
+            return f"graph conforms to schema {self.schema_name}"
+        lines = [f"graph violates schema {self.schema_name}:"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def check_conformance(graph: Graph, schema: Schema, max_violations: Optional[int] = None) -> ConformanceReport:
+    """Check conformance and return a detailed report.
+
+    *max_violations* truncates the report (useful on large graphs); ``None``
+    collects every violation.
+    """
+    violations: List[Violation] = []
+
+    def add(violation: Violation) -> bool:
+        violations.append(violation)
+        return max_violations is not None and len(violations) >= max_violations
+
+    # condition 1: label discipline
+    for node in graph.nodes():
+        labels = graph.labels(node)
+        schema_labels = labels & schema.node_labels
+        foreign = labels - schema.node_labels
+        if foreign:
+            if add(
+                Violation(
+                    "foreign-node-label",
+                    node,
+                    f"carries labels {sorted(foreign)} outside Γ_S",
+                )
+            ):
+                return ConformanceReport(schema.name, violations)
+        if len(schema_labels) == 0:
+            if add(Violation("unlabeled-node", node, "has no label from Γ_S")):
+                return ConformanceReport(schema.name, violations)
+        elif len(schema_labels) > 1:
+            if add(
+                Violation(
+                    "multiple-node-labels",
+                    node,
+                    f"has several labels from Γ_S: {sorted(schema_labels)}",
+                )
+            ):
+                return ConformanceReport(schema.name, violations)
+
+    for source, label, target in graph.edges():
+        if label not in schema.edge_labels:
+            if add(
+                Violation(
+                    "foreign-edge-label",
+                    source,
+                    f"has an outgoing {label!r}-edge but {label!r} ∉ Σ_S",
+                )
+            ):
+                return ConformanceReport(schema.name, violations)
+
+    # condition 2: participation constraints
+    signed_labels = list(signed_closure(sorted(schema.edge_labels)))
+    for node in graph.nodes():
+        node_schema_labels = graph.labels(node) & schema.node_labels
+        if len(node_schema_labels) != 1:
+            continue  # already reported above
+        (source_label,) = node_schema_labels
+        for signed in signed_labels:
+            successors = graph.successors(node, signed)
+            for target_label in sorted(schema.node_labels):
+                count = sum(1 for s in successors if graph.has_label(s, target_label))
+                required: Multiplicity = schema.multiplicity(source_label, signed, target_label)
+                if not required.allows(count):
+                    if add(
+                        Violation(
+                            "participation",
+                            node,
+                            (
+                                f"{source_label}-node has {count} {signed}-successors "
+                                f"labeled {target_label}, but δ({source_label},{signed},"
+                                f"{target_label}) = {required}"
+                            ),
+                            source_label=source_label,
+                            edge=signed,
+                            target_label=target_label,
+                        )
+                    ):
+                        return ConformanceReport(schema.name, violations)
+    return ConformanceReport(schema.name, violations)
+
+
+def conforms(graph: Graph, schema: Schema) -> bool:
+    """``True`` when *graph* conforms to *schema* (i.e. ``graph ∈ L(S)``)."""
+    return check_conformance(graph, schema, max_violations=1).ok

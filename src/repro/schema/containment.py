@@ -1,0 +1,116 @@
+"""Schema containment and equivalence (Proposition B.3).
+
+For two schemas over the *same* label sets, containment ``L(S1) ⊆ L(S2)``
+holds exactly when every declared multiplicity of ``S1`` is at most (in the
+allowed-counts order) the corresponding multiplicity of ``S2``.  For schemas
+over different label sets the comparison first checks that the label sets of
+the smaller schema are included in those of the larger one and that every
+triple mentioning a label missing from ``S1`` is irrelevant.
+
+The paper notes that schema equivalence is decidable in polynomial time; the
+functions here are the polynomial-time procedures used both by the schema
+elicitation decision problem and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graph.labels import SignedLabel, signed_closure
+from .schema import Multiplicity, Schema
+
+__all__ = [
+    "ContainmentCounterexample",
+    "schema_contained_in",
+    "schema_containment_counterexamples",
+    "schema_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentCounterexample:
+    """A triple whose multiplicities witness non-containment of schemas."""
+
+    source: str
+    edge: SignedLabel
+    target: str
+    left: Multiplicity
+    right: Multiplicity
+
+    def __str__(self) -> str:
+        return (
+            f"δ₁({self.source},{self.edge},{self.target}) = {self.left} "
+            f"⋠ {self.right} = δ₂({self.source},{self.edge},{self.target})"
+        )
+
+
+def schema_containment_counterexamples(
+    left: Schema, right: Schema, limit: Optional[int] = None
+) -> List[ContainmentCounterexample]:
+    """List the constraint triples that witness ``L(left) ⊄ L(right)``.
+
+    An empty list means ``L(left) ⊆ L(right)``.
+    """
+    problems: List[ContainmentCounterexample] = []
+
+    # A node label allowed by `left` but unknown to `right` breaks containment
+    # as soon as `left` admits a non-empty graph using it; we conservatively
+    # flag it (the caller can refine with emptiness information).
+    shared_nodes = left.node_labels & right.node_labels
+    shared_edges = left.edge_labels & right.edge_labels
+
+    for source in sorted(left.node_labels):
+        for signed in signed_closure(sorted(left.edge_labels)):
+            for target in sorted(left.node_labels):
+                left_mult = left.multiplicity(source, signed, target)
+                if (
+                    source in shared_nodes
+                    and target in shared_nodes
+                    and signed.label in shared_edges
+                ):
+                    right_mult = right.multiplicity(source, signed, target)
+                elif left_mult is Multiplicity.ZERO:
+                    continue  # forbidden on the left, trivially fine
+                else:
+                    right_mult = Multiplicity.ZERO
+                if not left_mult.is_at_most(right_mult):
+                    problems.append(
+                        ContainmentCounterexample(source, signed, target, left_mult, right_mult)
+                    )
+                    if limit is not None and len(problems) >= limit:
+                        return problems
+    for source in sorted(left.node_labels - right.node_labels):
+        problems.append(
+            ContainmentCounterexample(
+                source,
+                SignedLabel.parse(next(iter(left.edge_labels), "edge")),
+                source,
+                Multiplicity.STAR,
+                Multiplicity.ZERO,
+            )
+        )
+        if limit is not None and len(problems) >= limit:
+            return problems
+    return problems
+
+
+def schema_contained_in(left: Schema, right: Schema) -> bool:
+    """``True`` when ``L(left) ⊆ L(right)`` (Proposition B.3).
+
+    When the schemas share their label sets this is exact.  When ``left``
+    uses node labels unknown to ``right`` the check conservatively answers
+    ``False`` (such a label can typically be realised by some conforming
+    graph, which then cannot conform to ``right``).
+    """
+    return not schema_containment_counterexamples(left, right, limit=1)
+
+
+def schema_equivalent(left: Schema, right: Schema) -> bool:
+    """``True`` when ``L(left) = L(right)``."""
+    return schema_contained_in(left, right) and schema_contained_in(right, left)
+
+
+def compare(left: Schema, right: Schema) -> Tuple[bool, bool]:
+    """Return the pair ``(L(left) ⊆ L(right), L(right) ⊆ L(left))``."""
+    return schema_contained_in(left, right), schema_contained_in(right, left)

@@ -1,0 +1,117 @@
+"""A small textual DSL for schemas.
+
+The syntax mirrors the graphical notation of Figure 1::
+
+    schema S0 {
+      nodes Vaccine, Antigen, Pathogen;
+      edge Vaccine -designTarget-> Antigen [1, *];
+      edge Antigen -crossReacting-> Antigen [*, *];
+      edge Pathogen -exhibits-> Antigen [+, *];
+    }
+
+``edge A -r-> B [m, n]`` declares ``δ(A, r, B) = m`` (every ``A``-node has
+``m`` outgoing ``r``-edges to ``B``-nodes) and ``δ(B, r⁻, A) = n`` (every
+``B``-node has ``n`` incoming ``r``-edges from ``A``-nodes).  Additional
+fine-grained constraints can be set with ``constraint A -r-> B : m;`` or
+``constraint A <-r- B : m;`` for the inverse direction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..exceptions import ParseError
+from ..graph.labels import SignedLabel
+from .schema import Schema
+
+__all__ = ["parse_schema", "schema_to_text"]
+
+_SCHEMA_RE = re.compile(r"schema\s+(?P<name>\w+)\s*\{(?P<body>.*)\}\s*$", re.S)
+_NODES_RE = re.compile(r"nodes\s+(?P<labels>[^;]+);")
+_EDGES_DECL_RE = re.compile(r"edges\s+(?P<labels>[^;]+);")
+_EDGE_RE = re.compile(
+    r"edge\s+(?P<source>\w+)\s*-\s*(?P<label>\w+)\s*->\s*(?P<target>\w+)"
+    r"\s*\[\s*(?P<out>[?1+*0])\s*,\s*(?P<inc>[?1+*0])\s*\]\s*;"
+)
+_CONSTRAINT_RE = re.compile(
+    r"constraint\s+(?P<source>\w+)\s*"
+    r"(?P<arrow>-|<-)\s*(?P<label>\w+)\s*(?P<arrow2>->|-)\s*(?P<target>\w+)"
+    r"\s*:\s*(?P<mult>[?1+*0])\s*;"
+)
+_COMMENT_RE = re.compile(r"(#|//)[^\n]*")
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse a schema document written in the DSL described above."""
+    stripped = _COMMENT_RE.sub("", text).strip()
+    match = _SCHEMA_RE.match(stripped)
+    if not match:
+        raise ParseError("expected 'schema <name> { ... }'", text=text)
+    name = match.group("name")
+    body = match.group("body")
+
+    node_labels: List[str] = []
+    for nodes_match in _NODES_RE.finditer(body):
+        node_labels.extend(label.strip() for label in nodes_match.group("labels").split(","))
+    node_labels = [label for label in node_labels if label]
+    if not node_labels:
+        raise ParseError("schema must declare at least one node label", text=text)
+
+    edge_labels: List[str] = []
+    for edges_match in _EDGES_DECL_RE.finditer(body):
+        edge_labels.extend(label.strip() for label in edges_match.group("labels").split(","))
+    for edge_match in _EDGE_RE.finditer(body):
+        edge_labels.append(edge_match.group("label"))
+    for constraint_match in _CONSTRAINT_RE.finditer(body):
+        edge_labels.append(constraint_match.group("label"))
+    edge_labels = sorted({label for label in edge_labels if label})
+
+    schema = Schema(node_labels, edge_labels, name=name)
+
+    for edge_match in _EDGE_RE.finditer(body):
+        schema.set_edge(
+            edge_match.group("source"),
+            edge_match.group("label"),
+            edge_match.group("target"),
+            edge_match.group("out"),
+            edge_match.group("inc"),
+        )
+
+    for constraint_match in _CONSTRAINT_RE.finditer(body):
+        source = constraint_match.group("source")
+        target = constraint_match.group("target")
+        label = constraint_match.group("label")
+        arrow, arrow2 = constraint_match.group("arrow"), constraint_match.group("arrow2")
+        mult = constraint_match.group("mult")
+        if arrow == "-" and arrow2 == "->":
+            schema.set(source, SignedLabel.parse(label), target, mult)
+        elif arrow == "<-" and arrow2 == "-":
+            schema.set(source, SignedLabel.parse(f"{label}-"), target, mult)
+        else:
+            raise ParseError(
+                f"malformed constraint arrow in {constraint_match.group(0)!r}", text=text
+            )
+
+    # sanity: every residual, unparsed 'edge'/'constraint' line is an error
+    residual = _EDGE_RE.sub("", _CONSTRAINT_RE.sub("", body))
+    for statement in residual.split(";"):
+        statement = statement.strip()
+        if statement.startswith("edge ") or statement.startswith("constraint "):
+            raise ParseError(f"could not parse declaration: {statement!r}", text=text)
+    return schema
+
+
+def schema_to_text(schema: Schema) -> str:
+    """Render a schema back to the DSL (best effort, lossless for pair declarations)."""
+    lines = [f"schema {schema.name} {{"]
+    lines.append(f"  nodes {', '.join(sorted(schema.node_labels))};")
+    if schema.edge_labels:
+        lines.append(f"  edges {', '.join(sorted(schema.edge_labels))};")
+    for source, signed, target, mult in schema.declared_constraints():
+        if signed.is_inverse:
+            lines.append(f"  constraint {source} <-{signed.label}- {target} : {mult};")
+        else:
+            lines.append(f"  constraint {source} -{signed.label}-> {target} : {mult};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Graph transformations: node constructors, rules, application, grouping."""
+
+from .constructors import ConstructedNode, ConstructorRegistry, NodeConstructor
+from .rules import EdgeRule, NodeRule
+from .transformation import Transformation
+from .grouping import (
+    canonical_variables,
+    conjoin_unions,
+    edge_query,
+    equality_query,
+    node_query,
+    trim,
+    unsatisfiable_query,
+)
+from .parser import parse_transformation
+
+__all__ = [
+    "ConstructedNode",
+    "ConstructorRegistry",
+    "NodeConstructor",
+    "EdgeRule",
+    "NodeRule",
+    "Transformation",
+    "canonical_variables",
+    "conjoin_unions",
+    "edge_query",
+    "equality_query",
+    "node_query",
+    "trim",
+    "unsatisfiable_query",
+    "parse_transformation",
+]

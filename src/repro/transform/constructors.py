@@ -1,0 +1,124 @@
+"""Node constructors — the Skolem functions of transformation rules (Section 4).
+
+A *k*-ary node constructor is an injective function from ``k``-tuples of node
+identifiers to node identifiers.  The paper assumes that
+
+* for every node label ``A`` there is exactly one dedicated constructor
+  ``f_A``;
+* all constructors are injective;
+* their ranges are pairwise disjoint.
+
+The implementation realises constructed nodes as immutable
+:class:`ConstructedNode` terms ``f_A(t₁,…,t_k)``; injectivity and disjoint
+ranges then hold by construction (two terms are equal iff they have the same
+constructor name and arguments).  A :class:`ConstructorRegistry` enforces the
+"one constructor per label" discipline for a transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..exceptions import ConstructorError
+
+__all__ = ["ConstructedNode", "NodeConstructor", "ConstructorRegistry"]
+
+
+@dataclass(frozen=True)
+class ConstructedNode:
+    """A node identifier of the form ``f(t₁, …, t_k)``."""
+
+    constructor: str
+    arguments: Tuple[Hashable, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(argument) for argument in self.arguments)
+        return f"{self.constructor}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstructedNode({self})"
+
+
+@dataclass(frozen=True)
+class NodeConstructor:
+    """A named node constructor of fixed arity, dedicated to a node label."""
+
+    name: str
+    arity: int
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConstructorError(f"invalid constructor name: {self.name!r}")
+        if self.arity < 0:
+            raise ConstructorError("constructor arity must be non-negative")
+
+    def __call__(self, *arguments: Hashable) -> ConstructedNode:
+        """Apply the constructor to node identifiers, producing a fresh term."""
+        if len(arguments) != self.arity:
+            raise ConstructorError(
+                f"constructor {self.name} expects {self.arity} arguments, got {len(arguments)}"
+            )
+        return ConstructedNode(self.name, tuple(arguments))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ConstructorRegistry:
+    """Keeps track of the constructors of a transformation.
+
+    The registry guarantees the paper's assumption that every node label has a
+    single dedicated constructor and that the same constructor name is never
+    reused with different arities or for different labels.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, NodeConstructor] = {}
+        self._by_label: Dict[str, NodeConstructor] = {}
+
+    def register(self, constructor: NodeConstructor) -> NodeConstructor:
+        """Register a constructor, checking consistency with earlier uses."""
+        existing = self._by_name.get(constructor.name)
+        if existing is not None:
+            if existing.arity != constructor.arity:
+                raise ConstructorError(
+                    f"constructor {constructor.name} used with arities "
+                    f"{existing.arity} and {constructor.arity}"
+                )
+            if constructor.label and existing.label and constructor.label != existing.label:
+                raise ConstructorError(
+                    f"constructor {constructor.name} used for labels "
+                    f"{existing.label!r} and {constructor.label!r}"
+                )
+            if constructor.label and not existing.label:
+                merged = NodeConstructor(constructor.name, constructor.arity, constructor.label)
+                self._by_name[constructor.name] = merged
+                self._by_label[constructor.label] = merged
+                return merged
+            return existing
+        if constructor.label:
+            for_label = self._by_label.get(constructor.label)
+            if for_label is not None and for_label.name != constructor.name:
+                raise ConstructorError(
+                    f"label {constructor.label!r} already has constructor {for_label.name}; "
+                    f"the paper requires a single dedicated constructor per label"
+                )
+            self._by_label[constructor.label] = constructor
+        self._by_name[constructor.name] = constructor
+        return constructor
+
+    def for_label(self, label: str) -> Optional[NodeConstructor]:
+        """The constructor dedicated to *label*, if any."""
+        return self._by_label.get(label)
+
+    def by_name(self, name: str) -> Optional[NodeConstructor]:
+        """The constructor with the given name, if registered."""
+        return self._by_name.get(name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())

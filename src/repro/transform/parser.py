@@ -1,0 +1,144 @@
+"""Textual DSL for transformations.
+
+The syntax follows the paper's rule notation::
+
+    transformation T0 {
+      Vaccine(fV(x))            <- (Vaccine)(x);
+      Antigen(fA(x))            <- (Antigen)(x);
+      designTarget(fV(x), fA(y)) <- (designTarget)(x, y);
+      targets(fV(x), fA(y))      <- (designTarget . crossReacting*)(x, y);
+      Pathogen(fP(x))           <- (Pathogen)(x);
+      exhibits(fP(x), fA(y))     <- (exhibits)(x, y);
+    }
+
+A head with a single constructor term is a node rule (the head symbol is a
+node label); a head with two constructor terms is an edge rule (the head
+symbol is an edge label).  Bodies are comma-separated C2RPQ atoms using the
+regular-expression syntax of :mod:`repro.rpq.parser`; variables not occurring
+in the head are existentially quantified.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..exceptions import ParseError
+from ..rpq.parser import _split_atoms, parse_regex
+from ..rpq.queries import Atom, C2RPQ
+from .constructors import NodeConstructor
+from .rules import EdgeRule, NodeRule
+from .transformation import Transformation
+
+__all__ = ["parse_transformation"]
+
+_TRANSFORMATION_RE = re.compile(r"transformation\s+(?P<name>\w+)\s*\{(?P<body>.*)\}\s*$", re.S)
+_RULE_RE = re.compile(r"^(?P<head>[^<]+?)\s*<-\s*(?P<body>.+)$", re.S)
+_HEAD_RE = re.compile(
+    r"^(?P<symbol>\w+)\s*\(\s*(?P<terms>.*)\)\s*$",
+    re.S,
+)
+_TERM_RE = re.compile(r"(?P<ctor>\w+)\s*\(\s*(?P<args>[^)]*)\)")
+_COMMENT_RE = re.compile(r"(#|//)[^\n]*")
+_ATOM_RE = re.compile(
+    r"^\s*(?:\(\s*(?P<regex>.+?)\s*\)|(?P<label>[A-Za-z_][A-Za-z0-9_]*-?))"
+    r"\s*\(\s*(?P<args>[^)]*)\)\s*$",
+    re.S,
+)
+
+
+def _parse_body(body_text: str, text: str) -> List[Atom]:
+    atoms: List[Atom] = []
+    for atom_text in _split_atoms(body_text):
+        match = _ATOM_RE.match(atom_text)
+        if not match:
+            raise ParseError(f"could not parse body atom {atom_text!r}", text=text)
+        regex_text = match.group("regex") or match.group("label")
+        expr = parse_regex(regex_text)
+        args = [argument.strip() for argument in match.group("args").split(",") if argument.strip()]
+        if len(args) == 1:
+            atoms.append(Atom(expr, args[0], args[0]))
+        elif len(args) == 2:
+            atoms.append(Atom(expr, args[0], args[1]))
+        else:
+            raise ParseError(f"body atoms take one or two variables: {atom_text!r}", text=text)
+    return atoms
+
+
+def _parse_terms(terms_text: str, text: str) -> List[Tuple[str, Tuple[str, ...]]]:
+    terms = []
+    for match in _TERM_RE.finditer(terms_text):
+        arguments = tuple(
+            argument.strip() for argument in match.group("args").split(",") if argument.strip()
+        )
+        terms.append((match.group("ctor"), arguments))
+    if not terms:
+        raise ParseError(f"rule head has no constructor term: {terms_text!r}", text=text)
+    return terms
+
+
+def parse_transformation(text: str) -> Transformation:
+    """Parse a transformation document written in the DSL described above."""
+    stripped = _COMMENT_RE.sub("", text).strip()
+    match = _TRANSFORMATION_RE.match(stripped)
+    if not match:
+        raise ParseError("expected 'transformation <name> { ... }'", text=text)
+    transformation = Transformation(name=match.group("name"))
+    body = match.group("body")
+    for rule_text in body.split(";"):
+        rule_text = rule_text.strip()
+        if not rule_text:
+            continue
+        rule_match = _RULE_RE.match(rule_text)
+        if not rule_match:
+            raise ParseError(f"could not parse rule {rule_text!r}", text=text)
+        head_match = _HEAD_RE.match(rule_match.group("head").strip())
+        if not head_match:
+            raise ParseError(f"could not parse rule head {rule_match.group('head')!r}", text=text)
+        symbol = head_match.group("symbol")
+        terms = _parse_terms(head_match.group("terms"), text)
+        atoms = _parse_body(rule_match.group("body"), text)
+        if len(terms) == 1:
+            constructor_name, variables = terms[0]
+            constructor = NodeConstructor(constructor_name, len(variables), symbol)
+            rule_body = C2RPQ(atoms, list(variables), name=f"{symbol}_body")
+            transformation.add(NodeRule(symbol, constructor, variables, rule_body))
+        elif len(terms) == 2:
+            (source_name, source_vars), (target_name, target_vars) = terms
+            source_constructor = NodeConstructor(source_name, len(source_vars))
+            target_constructor = NodeConstructor(target_name, len(target_vars))
+            # the paper assumes the head tuples are disjoint, expressing any
+            # repetition with ε-atoms; the parser performs that desugaring so
+            # heads like who(fM(x,y), fP(x)) can be written naturally
+            from ..rpq.regex import EPSILON
+
+            seen = list(source_vars)
+            desugared_target = []
+            for variable in target_vars:
+                if variable in seen or variable in desugared_target:
+                    fresh = f"{variable}__eq{len(desugared_target)}"
+                    atoms.append(Atom(EPSILON, variable, fresh))
+                    desugared_target.append(fresh)
+                else:
+                    desugared_target.append(variable)
+            target_vars = tuple(desugared_target)
+            rule_body = C2RPQ(
+                atoms, list(source_vars) + list(target_vars), name=f"{symbol}_body"
+            )
+            transformation.add(
+                EdgeRule(
+                    symbol,
+                    source_constructor,
+                    source_vars,
+                    target_constructor,
+                    target_vars,
+                    rule_body,
+                )
+            )
+        else:
+            raise ParseError(
+                f"rule heads take one constructor term (node rule) or two (edge rule); "
+                f"got {len(terms)} in {rule_text!r}",
+                text=text,
+            )
+    return transformation

@@ -1,0 +1,110 @@
+"""Node rules and edge rules of graph transformations (Section 4).
+
+A *node rule* has the form ``A(f_A(x̄)) ← q(x̄)`` and a *edge rule* the form
+``r(f(x̄), f'(ȳ)) ← q(x̄, ȳ)``, where the bodies are **acyclic** C2RPQs and
+``f``, ``f'`` are node constructors.  Variable equalities can always be
+expressed with ``ε``-atoms, so the argument tuples ``x̄`` and ``ȳ`` are
+assumed to consist of distinct variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exceptions import TransformationError
+from ..rpq.queries import C2RPQ
+from .constructors import NodeConstructor
+
+__all__ = ["NodeRule", "EdgeRule"]
+
+
+def _check_body(body: C2RPQ, variables: Tuple[str, ...], rule: str) -> None:
+    if not body.is_acyclic():
+        raise TransformationError(f"{rule}: rule bodies must be acyclic C2RPQs")
+    missing = [v for v in variables if v not in body.variables() and body.atoms]
+    if missing:
+        raise TransformationError(f"{rule}: head variables {missing} do not occur in the body")
+    if len(set(variables)) != len(variables):
+        raise TransformationError(
+            f"{rule}: head variables must be distinct (use ε-atoms for equalities)"
+        )
+
+
+@dataclass(frozen=True)
+class NodeRule:
+    """``label(constructor(variables)) ← body``."""
+
+    label: str
+    constructor: NodeConstructor
+    variables: Tuple[str, ...]
+    body: C2RPQ
+
+    def __post_init__(self) -> None:
+        if len(self.variables) != self.constructor.arity:
+            raise TransformationError(
+                f"node rule for {self.label}: constructor {self.constructor.name} has arity "
+                f"{self.constructor.arity} but {len(self.variables)} variables were given"
+            )
+        _check_body(self.body, self.variables, f"node rule for {self.label}")
+
+    def head_str(self) -> str:
+        """The textual head of the rule."""
+        inner = ", ".join(self.variables)
+        return f"{self.label}({self.constructor.name}({inner}))"
+
+    def projected_body(self) -> C2RPQ:
+        """The body with exactly the head variables free (in head order)."""
+        return self.body.project(list(self.variables))
+
+    def __str__(self) -> str:
+        return f"{self.head_str()} <- {', '.join(str(a) for a in self.body.atoms)}"
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """``edge_label(source_constructor(x̄), target_constructor(ȳ)) ← body``."""
+
+    edge_label: str
+    source_constructor: NodeConstructor
+    source_variables: Tuple[str, ...]
+    target_constructor: NodeConstructor
+    target_variables: Tuple[str, ...]
+    body: C2RPQ
+
+    def __post_init__(self) -> None:
+        if len(self.source_variables) != self.source_constructor.arity:
+            raise TransformationError(
+                f"edge rule for {self.edge_label}: source constructor arity mismatch"
+            )
+        if len(self.target_variables) != self.target_constructor.arity:
+            raise TransformationError(
+                f"edge rule for {self.edge_label}: target constructor arity mismatch"
+            )
+        overlap = set(self.source_variables) & set(self.target_variables)
+        if overlap:
+            raise TransformationError(
+                f"edge rule for {self.edge_label}: head variable tuples overlap on {sorted(overlap)}; "
+                f"use ε-atoms to express equalities"
+            )
+        _check_body(
+            self.body,
+            self.source_variables + self.target_variables,
+            f"edge rule for {self.edge_label}",
+        )
+
+    def head_str(self) -> str:
+        """The textual head of the rule."""
+        source = ", ".join(self.source_variables)
+        target = ", ".join(self.target_variables)
+        return (
+            f"{self.edge_label}({self.source_constructor.name}({source}), "
+            f"{self.target_constructor.name}({target}))"
+        )
+
+    def projected_body(self) -> C2RPQ:
+        """The body with exactly the head variables free (source then target)."""
+        return self.body.project(list(self.source_variables + self.target_variables))
+
+    def __str__(self) -> str:
+        return f"{self.head_str()} <- {', '.join(str(a) for a in self.body.atoms)}"

@@ -1,0 +1,7 @@
+"""Ready-made workloads: the paper's medical example, FHIR-style migrations,
+a social-network evolution scenario and synthetic generators for scaling
+benchmarks."""
+
+from . import fhir, medical, social, synthetic
+
+__all__ = ["fhir", "medical", "social", "synthetic"]

@@ -1,0 +1,155 @@
+"""A FHIR-style healthcare data-migration workload.
+
+The paper motivates acyclic C2RPQ transformations with graph data migration
+between consecutive versions of the FHIR healthcare interchange format.  The
+real FHIR artefacts are large specification documents; this module provides a
+*synthetic* but structurally faithful miniature: two consecutive versions of a
+patient-record schema and the migration between them, exercising the same
+code paths (schema evolution with edge re-routing, label renaming, derived
+relationships via concatenated paths, and literal-value nodes encoded with
+dedicated labels as suggested in Section 7 of the paper).
+
+Version 3 ("STU3-like")
+    Patient --generalPractitioner--> Practitioner
+    Patient --managingOrganization--> Organization
+    Practitioner --worksFor--> Organization
+    Encounter --subject--> Patient, Encounter --performer--> Practitioner
+    Patient --name--> HumanName (literal node)
+
+Version 4 ("R4-like")
+    Patient --primaryCare--> Practitioner         (renamed edge)
+    Patient --organization--> Organization        (derived: GP's employer or
+                                                   the managing organization)
+    Encounter --subject--> Patient, Encounter --participant--> Practitioner
+    Patient --name--> HumanName
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph.graph import Graph
+from ..schema.schema import Schema
+from ..transform.parser import parse_transformation
+from ..transform.transformation import Transformation
+
+__all__ = [
+    "schema_v3",
+    "schema_v4",
+    "migration_v3_to_v4",
+    "broken_migration_v3_to_v4",
+    "random_instance",
+]
+
+
+def schema_v3() -> Schema:
+    """The source (version 3) patient-record schema."""
+    schema = Schema(
+        ["Patient", "Practitioner", "Organization", "Encounter", "HumanName"],
+        ["generalPractitioner", "managingOrganization", "worksFor", "subject", "performer", "name"],
+        name="FHIRv3",
+    )
+    schema.set_edge("Patient", "generalPractitioner", "Practitioner", "1", "*")
+    schema.set_edge("Patient", "managingOrganization", "Organization", "1", "*")
+    schema.set_edge("Practitioner", "worksFor", "Organization", "1", "*")
+    schema.set_edge("Encounter", "subject", "Patient", "1", "*")
+    schema.set_edge("Encounter", "performer", "Practitioner", "+", "*")
+    schema.set_edge("Patient", "name", "HumanName", "1", "?")
+    return schema
+
+
+def schema_v4() -> Schema:
+    """The target (version 4) patient-record schema."""
+    schema = Schema(
+        ["Patient", "Practitioner", "Organization", "Encounter", "HumanName"],
+        ["primaryCare", "organization", "worksFor", "subject", "participant", "name"],
+        name="FHIRv4",
+    )
+    schema.set_edge("Patient", "primaryCare", "Practitioner", "1", "*")
+    schema.set_edge("Patient", "organization", "Organization", "+", "*")
+    schema.set_edge("Practitioner", "worksFor", "Organization", "1", "*")
+    schema.set_edge("Encounter", "subject", "Patient", "1", "*")
+    schema.set_edge("Encounter", "participant", "Practitioner", "+", "*")
+    schema.set_edge("Patient", "name", "HumanName", "1", "?")
+    return schema
+
+
+_MIGRATION_TEXT = """
+transformation FhirV3toV4 {
+  Patient(fPat(x))              <- (Patient)(x);
+  Practitioner(fPra(x))         <- (Practitioner)(x);
+  Organization(fOrg(x))         <- (Organization)(x);
+  Encounter(fEnc(x))            <- (Encounter)(x);
+  HumanName(fNam(x))            <- (HumanName)(x);
+  primaryCare(fPat(x), fPra(y)) <- (generalPractitioner)(x, y);
+  organization(fPat(x), fOrg(y)) <- (managingOrganization)(x, y);
+  organization(fPat(x), fOrg(y)) <- (generalPractitioner . worksFor)(x, y);
+  worksFor(fPra(x), fOrg(y))    <- (worksFor)(x, y);
+  subject(fEnc(x), fPat(y))     <- (subject)(x, y);
+  participant(fEnc(x), fPra(y)) <- (performer)(x, y);
+  name(fPat(x), fNam(y))        <- (name)(x, y);
+}
+"""
+
+# The broken variant derives `organization` only through the practitioner,
+# forgetting the managing organization — still well-typed — but it also drops
+# the `participant` rule, so encounters lose their required participant.
+_BROKEN_MIGRATION_TEXT = """
+transformation FhirV3toV4Broken {
+  Patient(fPat(x))              <- (Patient)(x);
+  Practitioner(fPra(x))         <- (Practitioner)(x);
+  Organization(fOrg(x))         <- (Organization)(x);
+  Encounter(fEnc(x))            <- (Encounter)(x);
+  HumanName(fNam(x))            <- (HumanName)(x);
+  primaryCare(fPat(x), fPra(y)) <- (generalPractitioner)(x, y);
+  organization(fPat(x), fOrg(y)) <- (generalPractitioner . worksFor)(x, y);
+  worksFor(fPra(x), fOrg(y))    <- (worksFor)(x, y);
+  subject(fEnc(x), fPat(y))     <- (subject)(x, y);
+  name(fPat(x), fNam(y))        <- (name)(x, y);
+}
+"""
+
+
+def migration_v3_to_v4() -> Transformation:
+    """The v3 → v4 migration (well-typed against :func:`schema_v4`)."""
+    return parse_transformation(_MIGRATION_TEXT)
+
+
+def broken_migration_v3_to_v4() -> Transformation:
+    """A faulty migration: encounters lose their required participant edge."""
+    return parse_transformation(_BROKEN_MIGRATION_TEXT)
+
+
+def random_instance(
+    patients: int = 6,
+    practitioners: int = 3,
+    organizations: int = 2,
+    encounters: int = 5,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random patient-record graph conforming to :func:`schema_v3`."""
+    rng = random.Random(seed)
+    graph = Graph()
+    organization_ids = [f"org{i}" for i in range(max(1, organizations))]
+    practitioner_ids = [f"doc{i}" for i in range(max(1, practitioners))]
+    patient_ids = [f"pat{i}" for i in range(patients)]
+    for organization in organization_ids:
+        graph.add_node(organization, ["Organization"])
+    for practitioner in practitioner_ids:
+        graph.add_node(practitioner, ["Practitioner"])
+        graph.add_edge(practitioner, "worksFor", rng.choice(organization_ids))
+    for patient in patient_ids:
+        graph.add_node(patient, ["Patient"])
+        graph.add_edge(patient, "generalPractitioner", rng.choice(practitioner_ids))
+        graph.add_edge(patient, "managingOrganization", rng.choice(organization_ids))
+        name_node = f"name-of-{patient}"
+        graph.add_node(name_node, ["HumanName"])
+        graph.add_edge(patient, "name", name_node)
+    for index in range(encounters):
+        encounter = f"enc{index}"
+        graph.add_node(encounter, ["Encounter"])
+        if patient_ids:
+            graph.add_edge(encounter, "subject", rng.choice(patient_ids))
+        graph.add_edge(encounter, "performer", rng.choice(practitioner_ids))
+    return graph

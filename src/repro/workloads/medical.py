@@ -1,0 +1,168 @@
+"""The medical knowledge-graph workload of Example 1.1 / Figure 1 / Example 4.1.
+
+The workload packages:
+
+* the source schema ``S0`` (vaccines, antigens, pathogens, cross-reactivity);
+* the evolved target schema ``S1`` (explicit ``targets`` edges, no
+  ``crossReacting`` edges);
+* the transformation ``T0`` of Example 4.1, which migrates a knowledge graph
+  from ``S0`` to ``S1`` by materialising the cross-reactivity rule;
+* a deliberately broken variant of ``T0`` (used to exercise negative cases of
+  type checking and equivalence);
+* generators of conforming instance graphs of configurable size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph.graph import Graph
+from ..schema.schema import Schema
+from ..transform.parser import parse_transformation
+from ..transform.transformation import Transformation
+
+__all__ = [
+    "source_schema",
+    "target_schema",
+    "migration",
+    "broken_migration",
+    "redundant_migration",
+    "sample_graph",
+    "random_instance",
+]
+
+
+def source_schema() -> Schema:
+    """The schema ``S0`` of Figure 1."""
+    schema = Schema(
+        ["Vaccine", "Antigen", "Pathogen"],
+        ["designTarget", "crossReacting", "exhibits"],
+        name="S0",
+    )
+    schema.set_edge("Vaccine", "designTarget", "Antigen", "1", "*")
+    schema.set_edge("Antigen", "crossReacting", "Antigen", "*", "*")
+    schema.set_edge("Pathogen", "exhibits", "Antigen", "+", "*")
+    return schema
+
+
+def target_schema() -> Schema:
+    """The evolved schema ``S1`` of Figure 1 (explicit ``targets`` edges)."""
+    schema = Schema(
+        ["Vaccine", "Antigen", "Pathogen"],
+        ["designTarget", "targets", "exhibits"],
+        name="S1",
+    )
+    schema.set_edge("Vaccine", "designTarget", "Antigen", "1", "*")
+    schema.set_edge("Vaccine", "targets", "Antigen", "+", "*")
+    schema.set_edge("Pathogen", "exhibits", "Antigen", "+", "*")
+    return schema
+
+
+_MIGRATION_TEXT = """
+transformation T0 {
+  Vaccine(fV(x))              <- (Vaccine)(x);
+  Antigen(fA(x))              <- (Antigen)(x);
+  Pathogen(fP(x))             <- (Pathogen)(x);
+  designTarget(fV(x), fA(y))  <- (designTarget)(x, y);
+  targets(fV(x), fA(y))       <- (designTarget . crossReacting*)(x, y);
+  exhibits(fP(x), fA(y))      <- (exhibits)(x, y);
+}
+"""
+
+# The broken variant forgets that the design target itself is targeted: it only
+# materialises *strict* cross-reactions, so a vaccine whose antigen has no
+# cross-reacting partner ends up with no `targets` edge — violating the `+`
+# participation constraint of S1.
+_BROKEN_MIGRATION_TEXT = """
+transformation Tbroken {
+  Vaccine(fV(x))              <- (Vaccine)(x);
+  Antigen(fA(x))              <- (Antigen)(x);
+  Pathogen(fP(x))             <- (Pathogen)(x);
+  designTarget(fV(x), fA(y))  <- (designTarget)(x, y);
+  targets(fV(x), fA(y))       <- (designTarget . crossReacting . crossReacting*)(x, y);
+  exhibits(fP(x), fA(y))      <- (exhibits)(x, y);
+}
+"""
+
+# A rule-level redundant variant: semantically equivalent to T0 (the extra
+# `targets` rule is subsumed by the general one), used for equivalence tests.
+_REDUNDANT_MIGRATION_TEXT = """
+transformation Tredundant {
+  Vaccine(fV(x))              <- (Vaccine)(x);
+  Antigen(fA(x))              <- (Antigen)(x);
+  Pathogen(fP(x))             <- (Pathogen)(x);
+  designTarget(fV(x), fA(y))  <- (designTarget)(x, y);
+  targets(fV(x), fA(y))       <- (designTarget)(x, y);
+  targets(fV(x), fA(y))       <- (designTarget . crossReacting*)(x, y);
+  exhibits(fP(x), fA(y))      <- (exhibits)(x, y);
+}
+"""
+
+
+def migration() -> Transformation:
+    """The transformation ``T0`` of Example 4.1."""
+    return parse_transformation(_MIGRATION_TEXT)
+
+
+def broken_migration() -> Transformation:
+    """A variant of ``T0`` that fails type checking against ``S1``."""
+    return parse_transformation(_BROKEN_MIGRATION_TEXT)
+
+
+def redundant_migration() -> Transformation:
+    """A variant of ``T0`` with a redundant rule; equivalent to ``T0`` modulo ``S0``."""
+    return parse_transformation(_REDUNDANT_MIGRATION_TEXT)
+
+
+def sample_graph() -> Graph:
+    """A small hand-written knowledge graph conforming to ``S0``."""
+    graph = Graph()
+    graph.add_node("measles-vaccine", ["Vaccine"])
+    graph.add_node("mumps-vaccine", ["Vaccine"])
+    graph.add_node("H-protein", ["Antigen"])
+    graph.add_node("F-protein", ["Antigen"])
+    graph.add_node("HN-protein", ["Antigen"])
+    graph.add_node("measles-virus", ["Pathogen"])
+    graph.add_node("mumps-virus", ["Pathogen"])
+    graph.add_edge("measles-vaccine", "designTarget", "H-protein")
+    graph.add_edge("mumps-vaccine", "designTarget", "HN-protein")
+    graph.add_edge("H-protein", "crossReacting", "F-protein")
+    graph.add_edge("measles-virus", "exhibits", "H-protein")
+    graph.add_edge("measles-virus", "exhibits", "F-protein")
+    graph.add_edge("mumps-virus", "exhibits", "HN-protein")
+    return graph
+
+
+def random_instance(
+    vaccines: int = 5,
+    antigens: int = 8,
+    pathogens: int = 4,
+    cross_reaction_probability: float = 0.2,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random knowledge graph conforming to ``S0``.
+
+    Every vaccine receives exactly one design target, every pathogen exhibits
+    at least one antigen, and cross-reactions are sampled independently.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    antigen_ids = [f"antigen{i}" for i in range(antigens)]
+    for antigen in antigen_ids:
+        graph.add_node(antigen, ["Antigen"])
+    for index in range(vaccines):
+        vaccine = f"vaccine{index}"
+        graph.add_node(vaccine, ["Vaccine"])
+        graph.add_edge(vaccine, "designTarget", rng.choice(antigen_ids))
+    for index in range(pathogens):
+        pathogen = f"pathogen{index}"
+        graph.add_node(pathogen, ["Pathogen"])
+        exhibited = rng.sample(antigen_ids, k=rng.randint(1, max(1, min(3, antigens))))
+        for antigen in exhibited:
+            graph.add_edge(pathogen, "exhibits", antigen)
+    for source in antigen_ids:
+        for target in antigen_ids:
+            if source != target and rng.random() < cross_reaction_probability:
+                graph.add_edge(source, "crossReacting", target)
+    return graph

@@ -1,0 +1,124 @@
+"""A social-network schema-evolution workload.
+
+A miniature of the schema-evolution scenarios studied for property-graph
+databases (Bonifati et al., cited in the paper): a social network refactors
+its "member of group" modelling into explicit membership nodes, which
+requires a *binary* node constructor — exercising the constructors of arity
+greater than one that the paper highlights (nodes of the target graph that
+represent edges of the source graph).
+
+Version 1
+    Person --friend--> Person
+    Person --memberOf--> Group     (a person belongs to at least one group)
+    Group  --moderatedBy--> Person (every group has exactly one moderator)
+
+Version 2
+    Person --friend--> Person
+    Membership --who--> Person, Membership --inGroup--> Group
+    Group --moderatedBy--> Person
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph.graph import Graph
+from ..schema.schema import Schema
+from ..transform.parser import parse_transformation
+from ..transform.transformation import Transformation
+
+__all__ = [
+    "schema_v1",
+    "schema_v2",
+    "reification",
+    "broken_reification",
+    "random_instance",
+]
+
+
+def schema_v1() -> Schema:
+    """The original social-network schema."""
+    schema = Schema(["Person", "Group"], ["friend", "memberOf", "moderatedBy"], name="SocialV1")
+    schema.set_edge("Person", "friend", "Person", "*", "*")
+    schema.set_edge("Person", "memberOf", "Group", "+", "*")
+    schema.set_edge("Group", "moderatedBy", "Person", "1", "*")
+    return schema
+
+
+def schema_v2() -> Schema:
+    """The evolved schema with reified memberships."""
+    schema = Schema(
+        ["Person", "Group", "Membership"],
+        ["friend", "who", "inGroup", "moderatedBy"],
+        name="SocialV2",
+    )
+    schema.set_edge("Person", "friend", "Person", "*", "*")
+    schema.set_edge("Membership", "who", "Person", "1", "*")
+    schema.set_edge("Membership", "inGroup", "Group", "1", "*")
+    schema.set_edge("Group", "moderatedBy", "Person", "1", "*")
+    return schema
+
+
+_REIFICATION_TEXT = """
+transformation SocialReify {
+  Person(fPerson(x))                <- (Person)(x);
+  Group(fGroup(x))                  <- (Group)(x);
+  Membership(fMember(x, y))         <- (Person . memberOf . Group)(x, y);
+  friend(fPerson(x), fPerson(y))    <- (friend)(x, y);
+  who(fMember(x, y), fPerson(x))    <- (Person . memberOf . Group)(x, y);
+  inGroup(fMember(x, y), fGroup(y)) <- (Person . memberOf . Group)(x, y);
+  moderatedBy(fGroup(x), fPerson(y)) <- (moderatedBy)(x, y);
+}
+"""
+
+# The broken variant creates memberships for *every* pair of a person and a
+# group reachable through a friend (not just direct memberships), so a single
+# membership node may end up with several `who` witnesses required... it also
+# forgets the `inGroup` rule for half of the memberships it creates, which
+# breaks the `1` constraint of Membership --inGroup--> Group.
+_BROKEN_REIFICATION_TEXT = """
+transformation SocialReifyBroken {
+  Person(fPerson(x))                <- (Person)(x);
+  Group(fGroup(x))                  <- (Group)(x);
+  Membership(fMember(x, y))         <- (Person . friend* . memberOf . Group)(x, y);
+  friend(fPerson(x), fPerson(y))    <- (friend)(x, y);
+  who(fMember(x, y), fPerson(x))    <- (Person . friend* . memberOf . Group)(x, y);
+  inGroup(fMember(x, y), fGroup(y)) <- (Person . memberOf . Group)(x, y);
+  moderatedBy(fGroup(x), fPerson(y)) <- (moderatedBy)(x, y);
+}
+"""
+
+
+def reification() -> Transformation:
+    """The v1 → v2 reification transformation (binary constructor ``fMember``)."""
+    return parse_transformation(_REIFICATION_TEXT)
+
+
+def broken_reification() -> Transformation:
+    """A faulty variant: some memberships lack their required ``inGroup`` edge."""
+    return parse_transformation(_BROKEN_REIFICATION_TEXT)
+
+
+def random_instance(
+    people: int = 8,
+    groups: int = 3,
+    friendship_probability: float = 0.25,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random social network conforming to :func:`schema_v1`."""
+    rng = random.Random(seed)
+    graph = Graph()
+    person_ids = [f"person{i}" for i in range(max(1, people))]
+    group_ids = [f"group{i}" for i in range(max(1, groups))]
+    for person in person_ids:
+        graph.add_node(person, ["Person"])
+    for group in group_ids:
+        graph.add_node(group, ["Group"])
+        graph.add_edge(group, "moderatedBy", rng.choice(person_ids))
+    for person in person_ids:
+        graph.add_edge(person, "memberOf", rng.choice(group_ids))
+        for other in person_ids:
+            if person != other and rng.random() < friendship_probability:
+                graph.add_edge(person, "friend", other)
+    return graph

@@ -1,0 +1,149 @@
+"""Synthetic generators for scaling benchmarks.
+
+The paper's complexity results are stated in terms of the sizes of the
+schema, the queries and the transformation; these generators produce families
+of inputs whose sizes grow along one dimension at a time, so that the
+benchmarks can chart how the implemented procedures scale (experiments E7 and
+E8 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..graph.graph import Graph
+from ..rpq.queries import Atom, C2RPQ, UC2RPQ
+from ..rpq.regex import concat, edge, node, plus, star
+from ..schema.schema import Schema
+from ..transform.constructors import NodeConstructor
+from ..transform.rules import EdgeRule, NodeRule
+from ..transform.transformation import Transformation
+
+__all__ = [
+    "chain_schema",
+    "chain_copy_transformation",
+    "chain_collapse_transformation",
+    "chain_instance",
+    "path_query",
+    "star_query",
+    "cycle_schema",
+]
+
+
+def chain_schema(length: int, name: Optional[str] = None) -> Schema:
+    """A "chain" schema ``L0 --e0(1,*)--> L1 --e1--> … --> L_length``.
+
+    Every ``Li``-node has exactly one outgoing ``ei``-edge to an ``L(i+1)``
+    node, which makes longer and longer derived paths available to
+    transformations and queries.
+    """
+    labels = [f"L{i}" for i in range(length + 1)]
+    edges = [f"e{i}" for i in range(length)]
+    schema = Schema(labels, edges, name=name or f"Chain{length}")
+    for index in range(length):
+        schema.set_edge(labels[index], edges[index], labels[index + 1], "1", "*")
+    return schema
+
+
+def chain_copy_transformation(length: int) -> Transformation:
+    """The identity-style transformation copying a chain schema instance."""
+    transformation = Transformation(name=f"CopyChain{length}")
+    for index in range(length + 1):
+        label = f"L{index}"
+        constructor = NodeConstructor(f"f{label}", 1, label)
+        body = C2RPQ([Atom(node(label), "x", "x")], ["x"], name=f"{label}_body")
+        transformation.add(NodeRule(label, constructor, ("x",), body))
+    for index in range(length):
+        source, target = f"L{index}", f"L{index + 1}"
+        body = C2RPQ([Atom(edge(f"e{index}"), "x", "y")], ["x", "y"], name=f"e{index}_body")
+        transformation.add(
+            EdgeRule(
+                f"e{index}",
+                NodeConstructor(f"f{source}", 1, source),
+                ("x",),
+                NodeConstructor(f"f{target}", 1, target),
+                ("y",),
+                body,
+            )
+        )
+    return transformation
+
+
+def chain_collapse_transformation(length: int) -> Transformation:
+    """A transformation that shortcuts the whole chain with one derived edge.
+
+    It keeps the endpoint labels only and adds a ``shortcut`` edge defined by
+    the concatenation ``e0·e1·…·e(length-1)`` — the derived-path pattern that
+    makes the static analysis queries grow with the schema.
+    """
+    transformation = Transformation(name=f"CollapseChain{length}")
+    first, last = "L0", f"L{length}"
+    for label in (first, last):
+        constructor = NodeConstructor(f"f{label}", 1, label)
+        body = C2RPQ([Atom(node(label), "x", "x")], ["x"], name=f"{label}_body")
+        transformation.add(NodeRule(label, constructor, ("x",), body))
+    path = concat(*(edge(f"e{i}") for i in range(length)))
+    body = C2RPQ([Atom(path, "x", "y")], ["x", "y"], name="shortcut_body")
+    transformation.add(
+        EdgeRule(
+            "shortcut",
+            NodeConstructor(f"f{first}", 1, first),
+            ("x",),
+            NodeConstructor(f"f{last}", 1, last),
+            ("y",),
+            body,
+        )
+    )
+    return transformation
+
+
+def chain_instance(length: int, rows: int, seed: Optional[int] = None) -> Graph:
+    """A conforming instance of :func:`chain_schema`: *rows* parallel chains."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for row in range(rows):
+        previous = None
+        for index in range(length + 1):
+            identifier = (row, index)
+            graph.add_node(identifier, [f"L{index}"])
+            if previous is not None:
+                graph.add_edge(previous, f"e{index - 1}", identifier)
+            previous = identifier
+    # a few random extra chains sharing suffixes keep the instance interesting
+    for row in range(rows):
+        if rng.random() < 0.3 and rows > 1:
+            graph.add_edge((row, 0), "e0", (rng.randrange(rows), 1))
+    return graph
+
+
+def path_query(length: int, edge_prefix: str = "e", with_star: bool = False) -> C2RPQ:
+    """A Boolean path query ``∃x,y.(e0·e1·…)(x, y)`` of the given length."""
+    steps = [edge(f"{edge_prefix}{i}") for i in range(length)]
+    if with_star and steps:
+        steps[-1] = star(steps[-1])
+    return C2RPQ([Atom(concat(*steps), "x", "y")], [], name=f"path{length}")
+
+
+def star_query(branches: int, edge_prefix: str = "e") -> C2RPQ:
+    """A Boolean star-shaped query with *branches* atoms sharing the centre."""
+    atoms = [
+        Atom(plus(edge(f"{edge_prefix}{i}")), "centre", f"leaf{i}") for i in range(branches)
+    ]
+    return C2RPQ(atoms, [], name=f"star{branches}")
+
+
+def cycle_schema(size: int, name: Optional[str] = None) -> Schema:
+    """A schema whose single edge label forms a finmod cycle of *size* labels.
+
+    Every ``Li`` has exactly one outgoing ``next``-edge to ``L(i+1 mod size)``
+    and at most one incoming one, so finite instances are unions of cycles —
+    the schema family that exercises cycle reversing (Example 5.2 generalised).
+    """
+    labels = [f"L{i}" for i in range(size)]
+    schema = Schema(labels, ["next", "r"], name=name or f"Cycle{size}")
+    for index in range(size):
+        schema.set_edge(labels[index], "next", labels[(index + 1) % size], "1", "?")
+    for label in labels:
+        schema.set_edge(label, "r", label, "*", "*")
+    return schema

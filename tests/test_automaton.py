@@ -1,0 +1,129 @@
+"""Tests for the Glushkov/Thompson NFAs over Γ ∪ Σ±."""
+
+import pytest
+
+from repro.rpq import build_nfa, concat, edge, node, parse_regex, plus, star, union
+from repro.rpq.regex import EMPTY, EPSILON, EdgeStep, NodeTest
+
+
+def w(text):
+    """Build a word (tuple of symbols) from a whitespace-separated string."""
+    from repro.graph.labels import SignedLabel
+
+    result = []
+    for token in text.split():
+        if token[:1].isupper():
+            result.append(NodeTest(token))
+        else:
+            result.append(EdgeStep(SignedLabel.parse(token)))
+    return tuple(result)
+
+
+class TestAcceptance:
+    def test_single_edge(self):
+        nfa = build_nfa(edge("r"))
+        assert nfa.accepts(w("r"))
+        assert not nfa.accepts(w("s"))
+        assert not nfa.accepts(())
+
+    def test_concatenation(self):
+        nfa = build_nfa(parse_regex("a . b"))
+        assert nfa.accepts(w("a b"))
+        assert not nfa.accepts(w("a"))
+        assert not nfa.accepts(w("b a"))
+
+    def test_union(self):
+        nfa = build_nfa(parse_regex("a + b"))
+        assert nfa.accepts(w("a")) and nfa.accepts(w("b"))
+        assert not nfa.accepts(w("a b"))
+
+    def test_star_accepts_empty_and_repeats(self):
+        nfa = build_nfa(star(edge("a")))
+        assert nfa.accepts(())
+        assert nfa.accepts(w("a a a"))
+
+    def test_plus_requires_one(self):
+        nfa = build_nfa(plus(edge("a")))
+        assert not nfa.accepts(())
+        assert nfa.accepts(w("a"))
+
+    def test_node_tests_and_inverse_edges(self):
+        nfa = build_nfa(parse_regex("Vaccine . designTarget . crossReacting* . Antigen"))
+        assert nfa.accepts(w("Vaccine designTarget Antigen"))
+        assert nfa.accepts(w("Vaccine designTarget crossReacting Antigen"))
+        assert not nfa.accepts(w("Vaccine designTarget"))
+        inverse_nfa = build_nfa(edge("r-"))
+        assert inverse_nfa.accepts(w("r-"))
+
+    def test_epsilon_and_empty(self):
+        assert build_nfa(EPSILON).accepts(())
+        assert build_nfa(EMPTY).is_empty_language()
+        assert not build_nfa(EMPTY).accepts(())
+
+    def test_empty_in_concat_kills_language(self):
+        assert build_nfa(concat(edge("a"), EMPTY)).is_empty_language()
+
+
+class TestStructure:
+    def test_linear_size(self):
+        expr = parse_regex("a . (b + c)* . d . Antigen")
+        nfa = build_nfa(expr)
+        assert nfa.state_count() <= 2 * expr.size() + 2
+
+    def test_trim_removes_dead_states(self):
+        nfa = build_nfa(union(edge("a"), concat(edge("b"), EMPTY)))
+        # the b-branch cannot reach a final state and must have been trimmed
+        assert all(
+            any(nfa.accepts(word) for word in [w("a")])
+            for _ in [None]
+        )
+        assert nfa.state_count() <= 4
+
+    def test_alphabet(self):
+        nfa = build_nfa(parse_regex("A . r . s-"))
+        assert len(nfa.alphabet()) == 3
+
+    def test_reverse_language(self):
+        nfa = build_nfa(parse_regex("a . b")).reverse()
+        assert nfa.accepts(w("b- a-"))
+        assert not nfa.accepts(w("a b"))
+
+    def test_accepts_epsilon_flag(self):
+        assert build_nfa(star(edge("a"))).accepts_epsilon()
+        assert not build_nfa(edge("a")).accepts_epsilon()
+
+
+class TestWordEnumeration:
+    def test_words_are_accepted_and_deduplicated(self):
+        nfa = build_nfa(parse_regex("a . b* . c"))
+        words = list(nfa.enumerate_words(max_length=6))
+        assert len(words) == len(set(words))
+        assert all(nfa.accepts(word) for word in words)
+
+    def test_words_in_nondecreasing_length(self):
+        nfa = build_nfa(parse_regex("a*"))
+        lengths = [len(word) for word in nfa.enumerate_words(max_length=5, max_state_repeats=3)]
+        assert lengths == sorted(lengths)
+
+    def test_state_repeat_bound_limits_unrolling(self):
+        nfa = build_nfa(star(edge("a")))
+        words = list(nfa.enumerate_words(max_length=10, max_state_repeats=2))
+        assert max(len(word) for word in words) <= 4
+
+    def test_max_words_cap(self):
+        nfa = build_nfa(star(union(edge("a"), edge("b"))))
+        words = list(nfa.enumerate_words(max_length=10, max_state_repeats=3, max_words=5))
+        assert len(words) == 5
+
+    def test_finite_language_enumerated_exactly(self):
+        nfa = build_nfa(parse_regex("a . (b + c)"))
+        words = set(nfa.enumerate_words(max_length=5))
+        assert words == {w("a b"), w("a c")}
+
+    def test_shortest_word(self):
+        nfa = build_nfa(parse_regex("a . b* . c"))
+        assert nfa.shortest_word() == w("a c")
+
+    def test_shortest_word_of_empty_language_raises(self):
+        with pytest.raises(ValueError):
+            build_nfa(EMPTY).shortest_word()

@@ -1,0 +1,108 @@
+"""Tests for booleanization (Lemma D.1) and the schema encoding (Thm 5.6)."""
+
+import pytest
+
+from repro.containment import booleanize, encode_query, filter_query, interleave_regex
+from repro.exceptions import QueryError
+from repro.rpq import UC2RPQ, parse_c2rpq, parse_regex, parse_uc2rpq
+from repro.rpq.regex import EMPTY, EmptyLanguage
+from repro.schema import Multiplicity
+
+
+class TestBooleanize:
+    def test_arity_mismatch_rejected(self, medical_source_schema):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)"])
+        right = parse_uc2rpq(["q(x, y) := (designTarget)(x, y)"])
+        with pytest.raises(QueryError):
+            booleanize(medical_source_schema, left, right)
+
+    def test_boolean_output(self, medical_source_schema):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)"])
+        right = parse_uc2rpq(["q(x) := (designTarget)(x, y)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        assert reduction.left.is_boolean() and reduction.right.is_boolean()
+
+    def test_marker_atoms_added_once_per_free_variable(self, medical_source_schema):
+        left = parse_uc2rpq(["p(x, y) := (designTarget)(x, y)"])
+        right = parse_uc2rpq(["q(x, y) := (designTarget . crossReacting*)(x, y)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        assert len(reduction.marker_node_labels) == 2
+        for disjunct in list(reduction.left) + list(reduction.right):
+            marker_atoms = [
+                atom for atom in disjunct.atoms
+                if atom.regex.node_labels() & set(reduction.marker_node_labels)
+            ]
+            assert len(marker_atoms) == 2
+
+    def test_extended_schema_keeps_original_constraints(self, medical_source_schema):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)"])
+        right = parse_uc2rpq(["q(x) := Antigen(x)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        extended = reduction.schema
+        assert extended.multiplicity("Vaccine", "designTarget", "Antigen") is Multiplicity.ONE
+        assert set(reduction.marker_node_labels) <= extended.node_labels
+        assert set(reduction.marker_edge_labels) <= extended.edge_labels
+
+    def test_acyclicity_preserved_on_right(self, medical_source_schema):
+        right = parse_uc2rpq(["q(x) := (designTarget . crossReacting*)(x, y), Antigen(y)"])
+        left = parse_uc2rpq(["p(x) := Vaccine(x)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        assert reduction.right.is_acyclic()
+
+    def test_right_free_variables_aligned_with_left(self, medical_source_schema):
+        left = parse_uc2rpq(["p(u) := Vaccine(u)"])
+        right = parse_uc2rpq(["q(w) := Antigen(w)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        # both sides must mention the same marker labels (same answer tuple)
+        assert reduction.left.node_labels() & set(reduction.marker_node_labels)
+        assert reduction.right.node_labels() & set(reduction.marker_node_labels)
+
+    def test_empty_right_union_allowed(self, medical_source_schema):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)"])
+        reduction = booleanize(medical_source_schema, left, UC2RPQ([], name="false"))
+        assert reduction.right.is_empty()
+
+    def test_boolean_inputs_pass_through(self, medical_source_schema):
+        left = parse_uc2rpq(["p() := Vaccine(x)"])
+        right = parse_uc2rpq(["q() := Antigen(x)"])
+        reduction = booleanize(medical_source_schema, left, right)
+        assert not reduction.marker_node_labels
+        assert reduction.schema.node_labels == medical_source_schema.node_labels
+
+
+class TestSchemaEncoding:
+    def test_interleave_surrounds_edges(self, medical_source_schema):
+        rewritten = interleave_regex(parse_regex("designTarget"), medical_source_schema)
+        text = str(rewritten)
+        assert "Vaccine" in text and "Antigen" in text and "Pathogen" in text
+
+    def test_interleave_replaces_foreign_labels(self, medical_source_schema):
+        assert interleave_regex(parse_regex("alienEdge"), medical_source_schema).is_empty_language()
+        rewritten = interleave_regex(parse_regex("AlienLabel"), medical_source_schema)
+        assert isinstance(rewritten, EmptyLanguage)
+
+    def test_interleave_keeps_schema_labels(self, medical_source_schema):
+        rewritten = interleave_regex(parse_regex("Vaccine"), medical_source_schema)
+        assert rewritten == parse_regex("Vaccine")
+
+    def test_filter_keeps_structure_without_guards(self, medical_source_schema):
+        query = parse_c2rpq("q(x) := (designTarget . crossReacting*)(x, y)")
+        filtered = filter_query(query, medical_source_schema)
+        assert filtered.atoms[0].regex == query.atoms[0].regex
+
+    def test_filter_drops_foreign_edge_labels(self, medical_source_schema):
+        query = parse_c2rpq("q(x) := (designTarget . alien)(x, y)")
+        filtered = filter_query(query, medical_source_schema)
+        assert filtered.atoms[0].regex.is_empty_language()
+
+    def test_encode_query_applies_to_every_atom(self, medical_source_schema):
+        query = parse_c2rpq("q(x) := (designTarget)(x, y), (exhibits-)(y, z)")
+        encoded = encode_query(query, medical_source_schema)
+        assert len(encoded.atoms) == 2
+        assert all("Pathogen" in str(atom.regex) for atom in encoded.atoms)
+
+    def test_empty_schema_gives_empty_language(self):
+        from repro.schema import Schema
+
+        schema = Schema([], [])
+        assert interleave_regex(parse_regex("r"), schema) is EMPTY

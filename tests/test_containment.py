@@ -1,0 +1,199 @@
+"""End-to-end tests of containment modulo schema (Theorem 5.1), including the
+paper's worked examples and cross-validation against brute-force search over
+small finite graphs."""
+
+import pytest
+
+from repro.containment import (
+    ContainmentConfig,
+    ContainmentSolver,
+    contains,
+    enumerate_conforming_graphs,
+    find_counterexample,
+)
+from repro.exceptions import AcyclicityError
+from repro.rpq import UC2RPQ, eval_uc2rpq, parse_c2rpq, parse_uc2rpq
+from repro.schema import Schema, conforms
+from repro.workloads import medical
+
+
+@pytest.fixture(scope="module")
+def s0():
+    return medical.source_schema()
+
+
+@pytest.fixture(scope="module")
+def solver(s0):
+    return ContainmentSolver(s0)
+
+
+class TestPaperExamples:
+    def test_example_45_vaccine_targets_something(self, solver):
+        """(Vaccine)(x) ⊆_S0 ∃y.(designTarget·crossReacting*)(x,y) — Example 4.5."""
+        left = parse_c2rpq("p(x) := Vaccine(x)")
+        right = parse_c2rpq("q(x) := (designTarget . crossReacting*)(x, y)")
+        result = solver.contains(left, right)
+        assert result.contained and result.conclusive
+
+    def test_example_44_targets_only_from_vaccines(self, solver):
+        """∃y.(designTarget·crossReacting*)(x,y) ⊆_S0 (Vaccine)(x) — Example 4.4."""
+        left = parse_c2rpq("p(x) := (designTarget . crossReacting*)(x, y)")
+        right = parse_c2rpq("q(x) := Vaccine(x)")
+        result = solver.contains(left, right)
+        assert result.contained and result.conclusive
+
+    def test_design_target_not_contained_in_cross_reaction(self, solver):
+        left = parse_c2rpq("p(x) := Antigen(x)")
+        right = parse_c2rpq("q(x) := (crossReacting)(x, y)")
+        result = solver.contains(left, right)
+        assert not result.contained
+
+    def test_example_52_finite_containment_needs_cycle_reversal(self, example52_schema):
+        """P = ∃x.r(x,x) ⊆_S Q = ∃x,y.(r·s⁺·r)(x,y) holds over finite graphs
+        (Example 5.2) but fails over unrestricted models (Example 5.3)."""
+        left = parse_c2rpq("p() := (r)(x, x)")
+        right = parse_c2rpq("q() := (r . s+ . r)(x, y)")
+        with_reversal = contains(left, right, example52_schema)
+        assert with_reversal.contained and with_reversal.conclusive
+        without = contains(
+            left, right, example52_schema, ContainmentConfig(apply_completion=False)
+        )
+        assert not without.contained
+
+    def test_example_52_on_finite_instances(self, example52_schema):
+        """Sanity: on every small conforming finite graph, r(x,x) implies r·s⁺·r."""
+        left = parse_uc2rpq(["p() := (r)(x, x)"])
+        right = parse_uc2rpq(["q() := (r . s+ . r)(x, y)"])
+        seen = 0
+        for graph in enumerate_conforming_graphs(example52_schema, max_nodes=3, max_graphs=200):
+            seen += 1
+            if eval_uc2rpq(left, graph):
+                assert eval_uc2rpq(right, graph)
+        assert seen > 0
+
+
+class TestGeneralBehaviour:
+    def test_reflexivity(self, solver):
+        query = parse_c2rpq("q(x) := (designTarget)(x, y)")
+        assert solver.contains(query, query).contained
+
+    def test_union_on_the_right(self, solver):
+        left = parse_c2rpq("p(x) := (designTarget)(x, y)")
+        right = parse_uc2rpq(
+            ["q(x) := (designTarget . crossReacting)(x, y)", "q(x) := (designTarget)(x, y)"]
+        )
+        assert solver.contains(left, right).contained
+
+    def test_union_on_the_left(self, solver):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)", "p(x) := (designTarget)(x, y)"])
+        right = parse_uc2rpq(["q(x) := Vaccine(x)"])
+        assert solver.contains(left, right).contained
+
+    def test_not_contained_with_union_left(self, solver):
+        left = parse_uc2rpq(["p(x) := Vaccine(x)", "p(x) := Pathogen(x)"])
+        right = parse_uc2rpq(["q(x) := Vaccine(x)"])
+        assert not solver.contains(left, right).contained
+
+    def test_schema_constraints_enable_containment(self, s0):
+        # without the schema, having a design target does not imply being a
+        # vaccine; the schema's typing of designTarget edges makes it so
+        left = parse_c2rpq("p(x) := (designTarget)(x, y)")
+        right = parse_c2rpq("q(x) := Vaccine(x)")
+        loose = Schema(["Vaccine", "Antigen", "Pathogen"], ["designTarget"], name="loose")
+        for a in loose.node_labels:
+            for b in loose.node_labels:
+                loose.set_edge(a, "designTarget", b, "*", "*")
+        assert contains(left, right, s0).contained
+        assert not contains(left, right, loose).contained
+
+    def test_boolean_queries(self, solver):
+        left = parse_c2rpq("p() := (crossReacting)(x, y)")
+        right = parse_c2rpq("q() := Antigen(x)")
+        assert solver.contains(left, right).contained
+        assert not solver.contains(right, left).contained
+
+    def test_cyclic_left_allowed(self, solver):
+        left = parse_c2rpq("p() := (crossReacting)(x, x)")
+        right = parse_c2rpq("q() := Antigen(x)")
+        assert solver.contains(left, right).contained
+
+    def test_cyclic_right_rejected(self, solver):
+        left = parse_c2rpq("p() := Antigen(x)")
+        right = parse_c2rpq("q() := (crossReacting)(x, x)")
+        with pytest.raises(AcyclicityError):
+            solver.contains(left, right)
+
+    def test_empty_left_always_contained(self, solver):
+        assert solver.contains(UC2RPQ([], name="false"), parse_c2rpq("q(x) := Vaccine(x)")).contained
+
+    def test_satisfiable_modulo_schema(self, solver):
+        satisfiable = parse_c2rpq("p() := (exhibits)(x, y), (crossReacting)(y, z)")
+        assert not solver.satisfiable(satisfiable).contained
+        unsatisfiable = parse_c2rpq("p() := (exhibits)(x, y), Vaccine(y)")
+        assert solver.satisfiable(unsatisfiable).contained
+
+    def test_equivalence_helper(self, solver):
+        left = parse_c2rpq("p(x) := Antigen(x)")
+        right = parse_c2rpq("q(x) := (crossReacting)(x, y)")
+        assert not solver.equivalent(left, right)
+        assert solver.equivalent(left, left)
+
+    def test_unary_projection_contained_because_of_schema(self, solver):
+        # ∃y.(designTarget·crossReacting*)(x,y) ⊆ ∃y.designTarget(x,y): the
+        # source of such a path is a Vaccine and every Vaccine has a design
+        # target, so the *unary* projections are contained even though the
+        # binary queries are not
+        left = parse_c2rpq("p(x) := (designTarget . crossReacting*)(x, y)")
+        right = parse_c2rpq("q(x) := (designTarget)(x, y)")
+        assert solver.contains(left, right).contained
+        binary_left = parse_c2rpq("p(x, y) := (designTarget . crossReacting*)(x, y)")
+        binary_right = parse_c2rpq("q(x, y) := (designTarget)(x, y)")
+        assert not solver.contains(binary_left, binary_right).contained
+
+    def test_result_summary_and_metadata(self, solver):
+        result = solver.contains(
+            parse_c2rpq("p(x) := Vaccine(x)"),
+            parse_c2rpq("q(x) := (designTarget)(x, y)"),
+        )
+        assert "⊆" in result.summary() or "⊄" in result.summary()
+        assert result.tbox_size > 0
+        assert result.elapsed_seconds >= 0
+
+    def test_witness_pattern_for_non_containment(self, solver):
+        result = solver.contains(
+            parse_c2rpq("p(x) := Antigen(x)"),
+            parse_c2rpq("q(x) := (crossReacting)(x, y)"),
+        )
+        assert not result.contained
+        assert result.witness_pattern is not None
+
+
+class TestCrossValidation:
+    """Agreement between the decision procedure and brute-force enumeration."""
+
+    CASES = [
+        ("p(x) := Vaccine(x)", "q(x) := (designTarget)(x, y)", True),
+        ("p(x) := (designTarget)(x, y)", "q(x) := Vaccine(x)", True),
+        ("p(x) := Antigen(x)", "q(x) := (crossReacting)(x, y)", False),
+        ("p(x) := (crossReacting)(x, y)", "q(x) := Antigen(x)", True),
+        ("p(x) := Pathogen(x)", "q(x) := (exhibits)(x, y)", True),
+        ("p(x) := (exhibits)(x, y)", "q(x) := (designTarget)(x, y)", False),
+        ("p(x) := (designTarget)(x, y), (crossReacting)(y, z)", "q(x) := Vaccine(x)", True),
+    ]
+
+    @pytest.mark.parametrize("left_text,right_text,expected", CASES)
+    def test_against_expected(self, solver, left_text, right_text, expected):
+        result = solver.contains(parse_c2rpq(left_text), parse_c2rpq(right_text))
+        assert result.contained is expected
+
+    @pytest.mark.parametrize("left_text,right_text,expected", CASES)
+    def test_against_brute_force(self, s0, left_text, right_text, expected):
+        left = parse_uc2rpq([left_text])
+        right = parse_uc2rpq([right_text])
+        counterexample = find_counterexample(left, right, s0, max_nodes=3, max_graphs=4000)
+        if counterexample is not None:
+            # sound direction: an explicit counterexample forces non-containment
+            assert expected is False
+            assert conforms(counterexample.graph, s0)
+            assert counterexample.answer in eval_uc2rpq(left, counterexample.graph)
+            assert counterexample.answer not in eval_uc2rpq(right, counterexample.graph)

@@ -1,0 +1,163 @@
+"""Tests for CI entailment (Corollary E.7) and cycle reversing (Section 5)."""
+
+import pytest
+
+from repro.containment import (
+    complete,
+    entails_at_most,
+    entails_exists,
+    label_set_satisfiable,
+    schema_has_finmod_cycle,
+    simplify_s_driven,
+    triple_satisfiable,
+)
+from repro.containment.cycle_reversal import CompletionConfig
+from repro.dl import (
+    AtMostOneCI,
+    ExistsCI,
+    ForAllCI,
+    NoExistsCI,
+    SubclassOf,
+    TBox,
+    conj,
+    schema_to_extended_tbox,
+)
+from repro.graph import forward, inverse
+from repro.schema import Schema
+from repro.workloads import medical, synthetic
+
+
+@pytest.fixture(scope="module")
+def medical_tbox():
+    return schema_to_extended_tbox(medical.source_schema())
+
+
+class TestEntailment:
+    def test_syntactic_statement_is_entailed(self, medical_tbox):
+        assert entails_exists(medical_tbox, ["Vaccine"], forward("designTarget"), ["Antigen"])
+        assert entails_at_most(medical_tbox, ["Vaccine"], forward("designTarget"), ["Antigen"])
+
+    def test_non_entailed_statement(self, medical_tbox):
+        assert not entails_exists(medical_tbox, ["Antigen"], forward("crossReacting"), ["Antigen"])
+        assert not entails_at_most(medical_tbox, ["Antigen"], forward("crossReacting"), ["Antigen"])
+
+    def test_entailment_strengthened_body(self, medical_tbox):
+        # K ⊑ ∃R.K' is entailed for any K containing Vaccine
+        assert entails_exists(
+            medical_tbox, ["Vaccine", "ExtraConcept"], forward("designTarget"), ["Antigen"]
+        )
+
+    def test_entailment_weakened_head(self, medical_tbox):
+        # the required successor class may be weakened (Antigen ⊆ ⊤)
+        assert entails_exists(medical_tbox, ["Vaccine"], forward("designTarget"), [])
+
+    def test_derived_entailment_through_forall(self):
+        # A ⊑ ∃s.A plus B ⊑ ∀s.B entails A⊓B ⊑ ∃s.(A⊓B) — the composite
+        # entailment at the heart of Example 5.5
+        tbox = TBox(
+            [
+                ExistsCI(conj("A"), forward("s"), conj("A")),
+                ForAllCI(conj("B"), forward("s"), conj("B")),
+            ]
+        )
+        assert entails_exists(tbox, ["A", "B"], forward("s"), ["A", "B"])
+        assert not entails_exists(tbox, ["A"], forward("s"), ["A", "B"])
+
+    def test_vacuous_entailment_for_unsatisfiable_body(self, medical_tbox):
+        assert entails_exists(
+            medical_tbox, ["Vaccine", "Antigen"], forward("exhibits"), ["Pathogen"]
+        )
+
+    def test_label_set_satisfiability(self, medical_tbox):
+        assert label_set_satisfiable(medical_tbox, ["Pathogen"])
+        assert not label_set_satisfiable(medical_tbox, ["Pathogen", "Vaccine"])
+
+    def test_triple_satisfiability(self, medical_tbox):
+        assert triple_satisfiable(medical_tbox, ["Vaccine"], forward("designTarget"), ["Antigen"])
+        assert not triple_satisfiable(medical_tbox, ["Vaccine"], forward("exhibits"), ["Antigen"])
+        assert triple_satisfiable(medical_tbox, ["Antigen"], inverse("designTarget"), ["Vaccine"])
+
+
+class TestFinmodCycleDetection:
+    def test_medical_schema_has_no_cycle(self, medical_source_schema):
+        assert not schema_has_finmod_cycle(medical_source_schema)
+
+    def test_example_52_schema_has_cycle(self, example52_schema):
+        assert schema_has_finmod_cycle(example52_schema)
+
+    def test_cycle_requires_inverse_functionality(self):
+        schema = Schema(["A"], ["s"], name="NoFunc")
+        schema.set_edge("A", "s", "A", "+", "*")  # no "at most one incoming"
+        assert not schema_has_finmod_cycle(schema)
+
+    def test_longer_label_cycles_detected(self):
+        assert schema_has_finmod_cycle(synthetic.cycle_schema(3))
+        assert schema_has_finmod_cycle(synthetic.cycle_schema(5))
+
+    def test_chain_schema_has_no_cycle(self):
+        assert not schema_has_finmod_cycle(synthetic.chain_schema(4))
+
+
+class TestCompletion:
+    def test_skipped_when_no_cycle_possible(self, medical_tbox, medical_source_schema):
+        result = complete(medical_tbox, medical_source_schema)
+        assert result.skipped
+        assert result.tbox.size() == medical_tbox.size()
+
+    def test_example_52_completion_adds_reversal(self, example52_schema):
+        tbox = schema_to_extended_tbox(example52_schema)
+        result = complete(tbox, example52_schema)
+        assert not result.skipped
+        assert result.reversed_cycles >= 1
+        # the single-label reversal A ⊑ ∃s⁻.A must have been added
+        assert ExistsCI(conj("A"), inverse("s"), conj("A")) in result.tbox
+        assert AtMostOneCI(conj("A"), forward("s"), conj("A")) in result.tbox
+
+    def test_completion_is_monotone(self, example52_schema):
+        tbox = schema_to_extended_tbox(example52_schema)
+        result = complete(tbox, example52_schema)
+        assert set(tbox.statements()) <= set(result.tbox.statements())
+
+    def test_completion_respects_budget(self, example52_schema):
+        tbox = schema_to_extended_tbox(example52_schema)
+        config = CompletionConfig(max_candidates=4, max_rounds=1)
+        result = complete(tbox, example52_schema, config=config)
+        assert result.rounds <= 1
+        assert result.candidate_count <= 4
+
+    def test_cycle_schema_completion(self):
+        schema = synthetic.cycle_schema(2)
+        tbox = schema_to_extended_tbox(schema)
+        result = complete(tbox, schema, config=CompletionConfig(max_candidates=12, max_rounds=2))
+        assert result.reversed_cycles >= 1
+        assert ExistsCI(conj("L1"), inverse("next"), conj("L0")) in result.tbox
+
+
+class TestSDrivenSimplification:
+    def test_composite_at_most_subsumed_by_single(self, medical_source_schema):
+        tbox = TBox(
+            [
+                AtMostOneCI(conj("Vaccine"), forward("designTarget"), conj("Antigen")),
+                AtMostOneCI(conj("Vaccine", "Extra"), forward("designTarget"), conj("Antigen", "More")),
+            ]
+        )
+        simplify_s_driven(tbox, medical_source_schema)
+        assert tbox.at_most_count() == 1
+
+    def test_unrelated_composite_kept(self, medical_source_schema):
+        tbox = TBox(
+            [AtMostOneCI(conj("Vaccine", "Extra"), forward("targets"), conj("Antigen"))]
+        )
+        simplify_s_driven(tbox, medical_source_schema)
+        assert tbox.at_most_count() == 1
+
+    def test_bound_matches_lemma_57(self, example52_schema):
+        tbox = schema_to_extended_tbox(example52_schema)
+        completed = complete(tbox, example52_schema).tbox
+        bound = 2 * len(example52_schema.edge_labels) * len(example52_schema.node_labels) ** 2
+        single_label_at_most = [
+            s for s in completed.at_most_statements()
+            if len(s.body) == 1 and len(s.head) == 1
+            and s.body <= example52_schema.node_labels and s.head <= example52_schema.node_labels
+        ]
+        assert len(single_label_at_most) <= bound

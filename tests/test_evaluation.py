@@ -1,0 +1,142 @@
+"""Tests for query evaluation over finite graphs (Appendix A semantics)."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.graph.generators import cycle_graph, path_graph
+from repro.rpq import (
+    eval_c2rpq,
+    eval_regex,
+    eval_uc2rpq,
+    parse_c2rpq,
+    parse_regex,
+    parse_uc2rpq,
+    satisfies,
+    witnessing_path,
+)
+from repro.workloads import medical
+
+
+@pytest.fixture(scope="module")
+def knowledge_graph():
+    return medical.sample_graph()
+
+
+class TestRegexEvaluation:
+    def test_single_edge(self, knowledge_graph):
+        answers = eval_regex(parse_regex("designTarget"), knowledge_graph)
+        assert ("measles-vaccine", "H-protein") in answers
+        assert ("mumps-vaccine", "HN-protein") in answers
+
+    def test_example_32(self, knowledge_graph):
+        # vaccines together with the antigens they target directly or by cross-reaction
+        answers = eval_regex(
+            parse_regex("Vaccine . designTarget . crossReacting* . Antigen"), knowledge_graph
+        )
+        assert ("measles-vaccine", "H-protein") in answers
+        assert ("measles-vaccine", "F-protein") in answers
+        assert ("mumps-vaccine", "HN-protein") in answers
+        assert ("mumps-vaccine", "F-protein") not in answers
+
+    def test_inverse_edge(self, knowledge_graph):
+        answers = eval_regex(parse_regex("designTarget-"), knowledge_graph)
+        assert ("H-protein", "measles-vaccine") in answers
+
+    def test_node_test_restricts(self, knowledge_graph):
+        with_test = eval_regex(parse_regex("Pathogen . exhibits"), knowledge_graph)
+        without = eval_regex(parse_regex("exhibits"), knowledge_graph)
+        assert with_test == without  # only pathogens have exhibits edges anyway
+        assert all(knowledge_graph.has_label(source, "Pathogen") for source, _ in with_test)
+
+    def test_epsilon_is_identity(self, knowledge_graph):
+        answers = eval_regex(parse_regex("<eps>"), knowledge_graph)
+        assert answers == {(node, node) for node in knowledge_graph.nodes()}
+
+    def test_empty_language(self, knowledge_graph):
+        assert eval_regex(parse_regex("<empty>"), knowledge_graph) == set()
+
+    def test_union_and_star_on_cycle(self):
+        cycle = cycle_graph(3, "A", "r")
+        answers = eval_regex(parse_regex("r . r"), cycle)
+        assert (0, 2) in answers
+        star_answers = eval_regex(parse_regex("r*"), cycle)
+        assert (0, 0) in star_answers and (0, 1) in star_answers
+
+    def test_two_way_navigation(self):
+        graph = GraphBuilder().edge("a", "r", "b").edge("c", "r", "b").build()
+        # sibling query: from a, go down r and back up r⁻
+        answers = eval_regex(parse_regex("r . r-"), graph)
+        assert ("a", "c") in answers and ("a", "a") in answers
+
+
+class TestC2RPQEvaluation:
+    def test_boolean_satisfaction(self, knowledge_graph):
+        assert satisfies(knowledge_graph, parse_c2rpq("q() := (crossReacting)(x, y)"))
+        assert not satisfies(knowledge_graph, parse_c2rpq("q() := (crossReacting)(x, x)"))
+
+    def test_join_over_shared_variable(self, knowledge_graph):
+        query = parse_c2rpq("q(v, p) := (designTarget)(v, a), (exhibits-)(a, p)")
+        answers = eval_c2rpq(query, knowledge_graph)
+        assert ("measles-vaccine", "measles-virus") in answers
+        assert ("mumps-vaccine", "mumps-virus") in answers
+        assert ("measles-vaccine", "mumps-virus") not in answers
+
+    def test_label_atom_filters(self, knowledge_graph):
+        query = parse_c2rpq("q(x) := Pathogen(x), (exhibits)(x, y), (crossReacting)(y, z)")
+        answers = eval_c2rpq(query, knowledge_graph)
+        assert answers == {("measles-virus",)}
+
+    def test_same_variable_twice_in_atom(self):
+        graph = GraphBuilder().edge("a", "r", "a").edge("b", "r", "c").build()
+        query = parse_c2rpq("q(x) := (r)(x, x)")
+        assert eval_c2rpq(query, graph) == {("a",)}
+
+    def test_empty_graph_has_no_answers(self):
+        query = parse_c2rpq("q(x) := A(x)")
+        assert eval_c2rpq(query, GraphBuilder().build()) == set()
+
+    def test_boolean_query_empty_tuple_convention(self, knowledge_graph):
+        query = parse_c2rpq("q() := Vaccine(x)")
+        assert eval_c2rpq(query, knowledge_graph) == {()}
+
+    def test_free_variable_order_respected(self, knowledge_graph):
+        query = parse_c2rpq("q(p, v) := (designTarget)(v, a), (exhibits-)(a, p)")
+        answers = eval_c2rpq(query, knowledge_graph)
+        assert ("measles-virus", "measles-vaccine") in answers
+
+
+class TestUnionEvaluation:
+    def test_union_is_union_of_answers(self, knowledge_graph):
+        union = parse_uc2rpq(["q(x) := Vaccine(x)", "q(x) := Pathogen(x)"])
+        answers = eval_uc2rpq(union, knowledge_graph)
+        assert ("measles-vaccine",) in answers and ("mumps-virus",) in answers
+
+    def test_satisfies_on_union(self, knowledge_graph):
+        union = parse_uc2rpq(["q() := (crossReacting)(x, x)", "q() := Vaccine(x)"])
+        assert satisfies(knowledge_graph, union)
+
+
+class TestWitnessingPaths:
+    def test_path_exists_and_matches_regex(self, knowledge_graph):
+        path = witnessing_path(
+            parse_regex("designTarget . crossReacting"),
+            knowledge_graph,
+            "measles-vaccine",
+            "F-protein",
+        )
+        assert path is not None
+        assert [str(symbol) for symbol, _ in path] == ["designTarget", "crossReacting"]
+        assert path[-1][1] == "F-protein"
+
+    def test_no_path_returns_none(self, knowledge_graph):
+        assert witnessing_path(
+            parse_regex("exhibits"), knowledge_graph, "measles-vaccine", "F-protein"
+        ) is None
+
+    def test_epsilon_witness_is_empty(self, knowledge_graph):
+        assert witnessing_path(parse_regex("<eps>"), knowledge_graph, "H-protein", "H-protein") == []
+
+    def test_witness_on_long_path(self):
+        graph = path_graph(6, "A", "r")
+        path = witnessing_path(parse_regex("r*"), graph, 0, 6)
+        assert path is not None and len(path) == 6

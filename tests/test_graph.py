@@ -1,0 +1,192 @@
+"""Tests for the labeled graph data model."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, GraphBuilder, forward, inverse
+
+
+@pytest.fixture
+def small_graph():
+    return (
+        GraphBuilder()
+        .node("a", "Person")
+        .node("b", "Person")
+        .node("c", "City")
+        .edge("a", "knows", "b")
+        .edge("a", "livesIn", "c")
+        .edge("b", "livesIn", "c")
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_add_node_with_labels(self):
+        graph = Graph()
+        graph.add_node("n", ["A", "B"])
+        assert graph.labels("n") == {"A", "B"}
+
+    def test_add_node_is_idempotent(self):
+        graph = Graph()
+        graph.add_node("n", ["A"])
+        graph.add_node("n", ["B"])
+        assert graph.labels("n") == {"A", "B"}
+
+    def test_nodes_may_be_unlabeled(self):
+        graph = Graph()
+        graph.add_node("n")
+        assert graph.labels("n") == frozenset()
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge("a", "r", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.has_edge("a", "r", "b")
+
+    def test_parallel_edges_with_different_labels(self):
+        graph = Graph()
+        graph.add_edge("a", "r", "b")
+        graph.add_edge("a", "s", "b")
+        assert graph.edge_count() == 2
+
+    def test_duplicate_edge_not_counted_twice(self):
+        graph = Graph()
+        graph.add_edge("a", "r", "b")
+        graph.add_edge("a", "r", "b")
+        assert graph.edge_count() == 1
+
+    def test_invalid_label_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_label("n", "")
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "", "b")
+
+    def test_labels_of_unknown_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().labels("missing")
+
+
+class TestTraversal:
+    def test_forward_successors(self, small_graph):
+        assert small_graph.successors("a", "knows") == {"b"}
+
+    def test_inverse_successors(self, small_graph):
+        assert small_graph.successors("c", inverse("livesIn")) == {"a", "b"}
+
+    def test_successors_accept_signed_labels(self, small_graph):
+        assert small_graph.successors("a", forward("knows")) == {"b"}
+
+    def test_missing_successors_empty(self, small_graph):
+        assert small_graph.successors("c", "knows") == frozenset()
+
+    def test_neighbours_cover_both_directions(self, small_graph):
+        neighbours = dict()
+        for label, other in small_graph.neighbours("b"):
+            neighbours.setdefault(str(label), set()).add(other)
+        assert neighbours == {"knows-": {"a"}, "livesIn": {"c"}}
+
+    def test_degree(self, small_graph):
+        assert small_graph.degree("a") == 2
+        assert small_graph.degree("c") == 2
+
+    def test_nodes_with_label(self, small_graph):
+        assert set(small_graph.nodes_with_label("Person")) == {"a", "b"}
+
+    def test_node_and_edge_labels(self, small_graph):
+        assert small_graph.node_labels() == {"Person", "City"}
+        assert small_graph.edge_labels() == {"knows", "livesIn"}
+
+
+class TestMutation:
+    def test_remove_edge(self, small_graph):
+        small_graph.remove_edge("a", "knows", "b")
+        assert not small_graph.has_edge("a", "knows", "b")
+
+    def test_remove_node_removes_incident_edges(self, small_graph):
+        small_graph.remove_node("c")
+        assert not small_graph.has_node("c")
+        assert small_graph.successors("a", "livesIn") == frozenset()
+
+    def test_merge_nodes_unions_labels_and_edges(self, small_graph):
+        small_graph.merge_nodes("a", "b")
+        assert small_graph.labels("a") == {"Person"}
+        assert small_graph.has_edge("a", "knows", "a")
+        assert small_graph.has_edge("a", "livesIn", "c")
+        assert not small_graph.has_node("b")
+
+    def test_merge_preserves_self_loops(self):
+        graph = Graph()
+        graph.add_edge("x", "r", "y")
+        graph.add_edge("y", "r", "x")
+        graph.merge_nodes("x", "y")
+        assert graph.has_edge("x", "r", "x")
+
+    def test_relabel_nodes(self, small_graph):
+        renamed = small_graph.relabel_nodes({"a": "a2"})
+        assert renamed.has_edge("a2", "knows", "b")
+        assert not renamed.has_node("a")
+
+    def test_union(self):
+        left = GraphBuilder().edge("a", "r", "b").build()
+        right = GraphBuilder().edge("b", "s", "c").build()
+        union = left.union(right)
+        assert union.has_edge("a", "r", "b") and union.has_edge("b", "s", "c")
+
+
+class TestDerived:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add_edge("a", "knows", "c")
+        assert not small_graph.has_edge("a", "knows", "c")
+
+    def test_subgraph(self, small_graph):
+        sub = small_graph.subgraph({"a", "b"})
+        assert sub.has_edge("a", "knows", "b")
+        assert not sub.has_node("c")
+
+    def test_connected_components(self):
+        graph = GraphBuilder().edge("a", "r", "b").node("lonely", "A").build()
+        components = sorted(map(sorted, graph.connected_components()))
+        assert components == [["a", "b"], ["lonely"]]
+
+    def test_is_connected(self, small_graph):
+        assert small_graph.is_connected()
+
+    def test_equality_by_structure(self):
+        left = GraphBuilder().node("a", "A").edge("a", "r", "b").build()
+        right = GraphBuilder().edge("a", "r", "b").node("a", "A").build()
+        assert left == right
+
+    def test_inequality_on_labels(self):
+        left = GraphBuilder().node("a", "A").build()
+        right = GraphBuilder().node("a", "B").build()
+        assert left != right
+
+    def test_counts_and_len(self, small_graph):
+        assert small_graph.node_count() == len(small_graph) == 3
+        assert small_graph.edge_count() == 3
+
+    def test_describe_mentions_labels(self, small_graph):
+        text = small_graph.describe()
+        assert "Person" in text and "knows" in text
+
+
+class TestBuilder:
+    def test_path(self):
+        graph = GraphBuilder().path(["a", "b", "c"], "next").build()
+        assert graph.has_edge("a", "next", "b") and graph.has_edge("b", "next", "c")
+        assert graph.edge_count() == 2
+
+    def test_cycle(self):
+        graph = GraphBuilder().cycle(["a", "b", "c"], "next").build()
+        assert graph.has_edge("c", "next", "a")
+        assert graph.edge_count() == 3
+
+    def test_nodes_bulk(self):
+        graph = GraphBuilder().nodes(["a", "b"], "Person").build()
+        assert set(graph.nodes_with_label("Person")) == {"a", "b"}
+
+    def test_edges_bulk(self):
+        graph = GraphBuilder().edges([("a", "r", "b"), ("b", "r", "c")]).build()
+        assert graph.edge_count() == 2

@@ -1,0 +1,133 @@
+"""Tests for homomorphisms, sparsity, skeletons and isomorphism."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    find_homomorphism,
+    is_c_sparse,
+    is_homomorphism,
+    isomorphic,
+    skeleton,
+    sparsity_constant,
+)
+from repro.graph.generators import cycle_graph, path_graph, random_tree, star_graph
+
+
+class TestHomomorphism:
+    def test_identity_is_homomorphism(self):
+        graph = GraphBuilder().node("a", "A").edge("a", "r", "b").build()
+        mapping = {node: node for node in graph.nodes()}
+        assert is_homomorphism(mapping, graph, graph)
+
+    def test_label_preservation_required(self):
+        source = GraphBuilder().node("a", "A").build()
+        target = GraphBuilder().node("b", "B").build()
+        assert not is_homomorphism({"a": "b"}, source, target)
+
+    def test_edge_preservation_required(self):
+        source = GraphBuilder().edge("a", "r", "b").build()
+        target = GraphBuilder().node("x").node("y").build()
+        assert not is_homomorphism({"a": "x", "b": "y"}, source, target)
+
+    def test_find_homomorphism_collapses_path_onto_loop(self):
+        path = path_graph(3, "A", "r")
+        loop = cycle_graph(1, "A", "r")
+        mapping = find_homomorphism(path, loop)
+        assert mapping is not None
+        assert is_homomorphism(mapping, path, loop)
+
+    def test_find_homomorphism_none_when_impossible(self):
+        source = cycle_graph(1, "A", "r")  # needs an r-loop in the target
+        target = path_graph(2, "A", "r")
+        assert find_homomorphism(source, target) is None
+
+    def test_find_homomorphism_respects_labels(self):
+        source = GraphBuilder().node("a", "A").build()
+        target = GraphBuilder().node("x", "A", "B").node("y", "B").build()
+        mapping = find_homomorphism(source, target)
+        assert mapping == {"a": "x"}
+
+
+class TestSparsity:
+    def test_tree_is_minus_one_sparse(self):
+        tree = random_tree(10, ["A"], ["r"], seed=0)
+        assert sparsity_constant(tree) == -1
+        assert is_c_sparse(tree, 0)
+
+    def test_cycle_is_zero_sparse(self):
+        cycle = cycle_graph(5, "A", "r")
+        assert sparsity_constant(cycle) == 0
+        assert is_c_sparse(cycle, 0)
+        assert not is_c_sparse(cycle, -1)
+
+    def test_dense_graph_not_sparse(self):
+        graph = Graph()
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    graph.add_edge(a, "r", b)
+        assert not is_c_sparse(graph, 2)
+
+
+class TestSkeleton:
+    def test_path_collapses_to_nothing(self):
+        # a path is all "attached tree": pruning degree-1 nodes removes it entirely
+        result = skeleton(path_graph(5, "A", "r"))
+        assert result.k == 0
+        assert result.l == 0
+        assert len(result.removed_trees) == 6
+
+    def test_cycle_is_a_1_1_skeleton(self):
+        result = skeleton(cycle_graph(6, "A", "r"))
+        assert result.k == 1
+        assert result.l == 1
+        assert result.is_within(2, 3)
+
+    def test_star_prunes_all_leaves(self):
+        # a star is a tree: everything is pruned, nothing of the core remains
+        result = skeleton(star_graph(5, "Hub", "Leaf", "r"))
+        assert result.k == 0
+        assert len(result.removed_trees) == 6
+
+    def test_theta_graph_has_two_distinguished_nodes(self):
+        # two nodes connected by three internally disjoint paths (a "theta")
+        graph = Graph()
+        graph.add_edge("u", "r", "v")
+        graph.add_edge("u", "s", "m1")
+        graph.add_edge("m1", "s", "v")
+        graph.add_edge("u", "t", "m2")
+        graph.add_edge("m2", "t", "v")
+        result = skeleton(graph)
+        assert result.distinguished == {"u", "v"}
+        assert result.l == 3
+        # m = n + 1 here, so the graph is 1-sparse and fits a (2,3)-skeleton
+        assert sparsity_constant(graph) == 1
+        assert result.is_within(2, 3)
+
+    def test_skeleton_bound_matches_lemma_e1(self):
+        # Lemma E.1: a connected c-sparse graph with min degree 2 is a (2c,3c)-skeleton
+        graph = cycle_graph(4, "A", "r")
+        graph.add_edge(0, "s", 2)
+        c = sparsity_constant(graph)
+        result = skeleton(graph)
+        assert result.is_within(2 * max(c, 1), 3 * max(c, 1))
+
+
+class TestIsomorphism:
+    def test_isomorphic_relabelled_cycle(self):
+        left = cycle_graph(4, "A", "r")
+        right = left.relabel_nodes({0: "a", 1: "b", 2: "c", 3: "d"})
+        assert isomorphic(left, right)
+
+    def test_non_isomorphic_different_sizes(self):
+        assert not isomorphic(cycle_graph(3, "A", "r"), cycle_graph(4, "A", "r"))
+
+    def test_non_isomorphic_same_size_different_structure(self):
+        assert not isomorphic(path_graph(3, "A", "r"), star_graph(3, "A", "A", "r"))
+
+    def test_label_mismatch_detected(self):
+        left = GraphBuilder().node("a", "A").node("b", "B").edge("a", "r", "b").build()
+        right = GraphBuilder().node("a", "A").node("b", "A").edge("a", "r", "b").build()
+        assert not isomorphic(left, right)

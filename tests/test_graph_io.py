@@ -1,0 +1,88 @@
+"""Tests for graph serialisation and the random generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, GraphBuilder, graph_from_dict, graph_to_dict, load_json, dump_json, to_dot
+from repro.graph.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    random_tree,
+    star_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return (
+        GraphBuilder()
+        .node("v1", "Vaccine")
+        .node("a1", "Antigen")
+        .edge("v1", "designTarget", "a1")
+        .build()
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    def test_file_round_trip(self, graph, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_json(graph, path)
+        assert load_json(path) == graph
+
+    def test_dict_is_sorted_and_stable(self, graph):
+        assert graph_to_dict(graph) == graph_to_dict(graph.copy())
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": []})
+
+    def test_integer_identifiers_preserved(self):
+        graph = Graph()
+        graph.add_edge(1, "r", 2)
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+
+class TestDot:
+    def test_dot_contains_labels_and_edges(self, graph):
+        dot = to_dot(graph)
+        assert "digraph" in dot
+        assert "designTarget" in dot
+        assert "Vaccine" in dot
+
+
+class TestGenerators:
+    def test_path_graph_shape(self):
+        graph = path_graph(4, "A", "r")
+        assert graph.node_count() == 5 and graph.edge_count() == 4
+
+    def test_cycle_graph_shape(self):
+        graph = cycle_graph(4, "A", "r")
+        assert graph.node_count() == 4 and graph.edge_count() == 4
+
+    def test_star_graph_shape(self):
+        graph = star_graph(6, "Hub", "Leaf", "r")
+        assert graph.node_count() == 7 and graph.edge_count() == 6
+
+    def test_random_tree_is_a_tree(self):
+        graph = random_tree(15, ["A", "B"], ["r", "s"], seed=3)
+        assert graph.edge_count() == graph.node_count() - 1
+        assert graph.is_connected()
+
+    def test_random_graph_deterministic_with_seed(self):
+        left = random_graph(8, ["A"], ["r"], edge_probability=0.3, seed=7)
+        right = random_graph(8, ["A"], ["r"], edge_probability=0.3, seed=7)
+        assert left == right
+
+    def test_random_graph_every_node_labeled(self):
+        graph = random_graph(5, ["A", "B"], ["r"], seed=1)
+        assert all(graph.labels(node) for node in graph.nodes())
+
+    def test_grid_graph_shape(self):
+        graph = grid_graph(3, 4, "Cell", "right", "down")
+        assert graph.node_count() == 12
+        assert graph.edge_count() == 3 * 3 + 2 * 4

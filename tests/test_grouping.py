@@ -1,0 +1,125 @@
+"""Tests for the grouped queries Q_A and Q_{A,R,B}, conjunction helpers and
+trimming (Section 4, Appendix B)."""
+
+import pytest
+
+from repro.graph import forward, inverse
+from repro.rpq import eval_uc2rpq
+from repro.transform import (
+    Transformation,
+    canonical_variables,
+    conjoin_unions,
+    edge_query,
+    equality_query,
+    node_query,
+    trim,
+    unsatisfiable_query,
+)
+from repro.transform.parser import parse_transformation
+from repro.workloads import medical
+
+
+@pytest.fixture(scope="module")
+def migration():
+    return medical.migration()
+
+
+class TestGroupedQueries:
+    def test_example_43_node_query(self, migration, medical_graph):
+        q_vaccine = node_query(migration, "Vaccine")
+        assert len(q_vaccine) == 1
+        answers = eval_uc2rpq(q_vaccine, medical_graph)
+        assert ("measles-vaccine",) in answers and ("mumps-vaccine",) in answers
+
+    def test_example_43_edge_query(self, migration, medical_graph):
+        q_targets = edge_query(migration, "Vaccine", forward("targets"), "Antigen")
+        answers = eval_uc2rpq(q_targets, medical_graph)
+        assert ("measles-vaccine", "H-protein") in answers
+        assert ("measles-vaccine", "F-protein") in answers
+        assert ("mumps-vaccine", "F-protein") not in answers
+
+    def test_inverse_edge_query_swaps_sides(self, migration, medical_graph):
+        q_inverse = edge_query(migration, "Antigen", inverse("targets"), "Vaccine")
+        answers = eval_uc2rpq(q_inverse, medical_graph)
+        assert ("H-protein", "measles-vaccine") in answers
+
+    def test_missing_label_gives_empty_union(self, migration):
+        assert node_query(migration, "Unknown").is_empty()
+        assert edge_query(migration, "Vaccine", forward("unknown"), "Antigen").is_empty()
+
+    def test_multiple_rules_become_union(self):
+        transformation = medical.redundant_migration()
+        q_targets = edge_query(transformation, "Vaccine", forward("targets"), "Antigen")
+        assert len(q_targets) == 2
+
+    def test_canonical_variable_names(self, migration):
+        q_edge = edge_query(migration, "Vaccine", forward("targets"), "Antigen")
+        assert q_edge.disjuncts[0].free_variables == ("x1", "y1")
+        assert canonical_variables("z", 3) == ("z1", "z2", "z3")
+
+    def test_binary_constructor_arities(self):
+        reify = parse_transformation(
+            """
+            transformation R {
+              Person(fP(x)) <- (Person)(x);
+              Membership(fM(x, y)) <- (Person . memberOf . Group)(x, y);
+              who(fM(x, y), fP(x)) <- (Person . memberOf . Group)(x, y);
+            }
+            """
+        )
+        q_member = node_query(reify, "Membership")
+        assert q_member.arity() == 2
+        q_who = edge_query(reify, "Membership", forward("who"), "Person")
+        assert q_who.disjuncts[0].free_variables == ("x1", "x2", "y1")
+
+
+class TestCombinators:
+    def test_conjoin_unions_distributes(self, migration):
+        left = node_query(migration, "Vaccine")
+        right = edge_query(migration, "Vaccine", forward("targets"), "Antigen")
+        conjunction = conjoin_unions(left, right)
+        assert len(conjunction) == len(left) * len(right)
+        # x1 is shared between the two sides, y1 comes from the edge query
+        assert conjunction.disjuncts[0].free_variables == ("x1", "y1")
+
+    def test_conjoin_with_empty_is_empty(self, migration):
+        left = node_query(migration, "Vaccine")
+        assert conjoin_unions(left, node_query(migration, "Unknown")).is_empty()
+
+    def test_equality_query_shape(self):
+        union = equality_query(["y1"], ["z1"])
+        assert union.arity() == 2
+        assert union.disjuncts[0].atoms[0].regex.nullable()
+
+    def test_equality_query_length_mismatch(self):
+        from repro.exceptions import TransformationError
+
+        with pytest.raises(TransformationError):
+            equality_query(["y1"], ["z1", "z2"])
+
+    def test_unsatisfiable_query(self, medical_graph):
+        union = unsatisfiable_query(["x1"])
+        assert eval_uc2rpq(union, medical_graph) == set()
+
+
+class TestTrimming:
+    def test_productive_rules_kept(self, migration, medical_source_schema):
+        trimmed = trim(migration, medical_source_schema)
+        assert len(trimmed.rules()) == len(migration.rules())
+
+    def test_unproductive_rule_removed(self, medical_source_schema):
+        with_dead_rule = parse_transformation(
+            """
+            transformation T {
+              Vaccine(fV(x))  <- (Vaccine)(x);
+              Antigen(fA(x))  <- (Antigen)(x);
+              targets(fV(x), fA(y)) <- (exhibits)(x, y), Vaccine(x);
+            }
+            """
+        )
+        trimmed = trim(with_dead_rule, medical_source_schema)
+        # the edge rule's body requires a Vaccine with an exhibits edge, which
+        # the schema forbids, so the rule is unproductive
+        assert len(trimmed.edge_rules) == 0
+        assert len(trimmed.node_rules) == 2
+        assert "targets" not in trimmed.edge_labels()

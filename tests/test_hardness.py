@@ -1,0 +1,172 @@
+"""Tests for the EXPTIME lower-bound machinery (Appendix F): ATMs, the
+reduction devices and the reductions of Lemma F.2."""
+
+import pytest
+
+from repro.analysis import check_equivalence, type_check
+from repro.containment import ContainmentSolver
+from repro.exceptions import ReproError
+from repro.hardness import (
+    alternating_and_or_machine,
+    build_instance,
+    containment_to_equivalence,
+    containment_to_typechecking,
+    even_ones_machine,
+    nest,
+    tree_device_queries,
+    tree_device_schema,
+)
+from repro.rpq import eval_c2rpq, parse_c2rpq, parse_regex, satisfies
+from repro.schema import conforms
+from repro.graph import GraphBuilder
+from repro.workloads import medical
+
+
+class TestATMs:
+    def test_even_ones_accepts_even_counts(self):
+        machine = even_ones_machine()
+        assert machine.accepts("")
+        assert machine.accepts("11")
+        assert machine.accepts("0110")
+        assert machine.accepts("10100")
+        assert not machine.accepts("1")
+        assert not machine.accepts("10110")
+
+    def test_alternating_machine(self):
+        machine = alternating_and_or_machine()
+        assert machine.accepts("11")
+        assert machine.accepts("110")
+        assert not machine.accepts("10")
+        assert not machine.accepts("01")
+        assert not machine.accepts("0")
+
+    def test_space_bound_checked(self):
+        with pytest.raises(ReproError):
+            even_ones_machine().accepts("111", space=1)
+
+    def test_states_listing_is_stable(self):
+        machine = even_ones_machine()
+        assert machine.states[0] == machine.initial_state
+        assert machine.states[-2:] == ("q_yes", "q_no")
+
+    def test_work_alphabet_includes_markers(self):
+        machine = even_ones_machine()
+        assert {"<", ">", "_"} <= set(machine.work_alphabet)
+
+    def test_successor_computation(self):
+        machine = even_ones_machine()
+        configuration = machine.initial_configuration("10", 2)
+        successors = machine.successors(configuration)
+        assert successors and all(s[1] == 2 for s in successors)
+
+
+class TestDevices:
+    def test_nesting_device(self):
+        expr = nest(parse_regex("Node"), parse_regex("a1"))
+        assert str(expr) == "Node . a1 . a1-"
+
+    def test_tree_device_schema_allows_binary_trees(self):
+        schema = tree_device_schema()
+        tree = (
+            GraphBuilder()
+            .node("root", "Node").node("l", "Leaf").node("r", "Leaf")
+            .edge("root", "a1", "l").edge("root", "a2", "r")
+            .build()
+        )
+        assert conforms(tree, schema)
+
+    def test_tree_device_positive_query_on_tree(self):
+        positive, negative = tree_device_queries()
+        tree = (
+            GraphBuilder()
+            .node("root", "Node").node("l", "Leaf").node("r", "Leaf")
+            .edge("root", "a1", "l").edge("root", "a2", "r")
+            .build()
+        )
+        assert satisfies(tree, positive.boolean())
+        assert not satisfies(tree, negative.boolean())
+
+    def test_tree_device_negative_query_flags_violations(self):
+        positive, negative = tree_device_queries()
+        bad = (
+            GraphBuilder()
+            .node("root", "Node").node("n", "Node").node("l", "Leaf")
+            .edge("root", "a1", "n").edge("root", "a1", "l")  # two a1-children
+            .build()
+        )
+        assert satisfies(bad, negative.boolean())
+
+
+class TestReduction:
+    def test_instance_sizes_polynomial(self):
+        machine = alternating_and_or_machine()
+        small = build_instance(machine, "11", space=2).sizes()
+        large = build_instance(machine, "1100", space=4).sizes()
+        assert small["schema_edge_labels"] < large["schema_edge_labels"]
+        # the construction is polynomial: doubling the space must not blow the
+        # query size up by more than a small polynomial factor
+        assert large["positive_size"] <= 20 * small["positive_size"]
+        assert large["negative_size"] <= 20 * small["negative_size"]
+
+    def test_instance_queries_are_single_atom_booleans(self):
+        instance = build_instance(even_ones_machine(), "1", space=1)
+        assert instance.positive.is_boolean() and instance.negative.is_boolean()
+        assert len(instance.positive.atoms) == 1 and len(instance.negative.atoms) == 1
+        assert instance.positive.is_acyclic() and instance.negative.is_acyclic()
+
+    def test_schema_shape_matches_figure_7(self):
+        instance = build_instance(even_ones_machine(), "10", space=2)
+        assert instance.schema.node_labels == {"Config", "Pos", "Symb", "St"}
+        assert {"all1", "all2", "any1", "any2", "pos1", "pos2"} <= instance.schema.edge_labels
+
+    def test_run_tree_encoding_satisfies_positive_query_fragments(self):
+        """A hand-built one-configuration graph exercises the macros: the
+        Symbol/State macros must be satisfied exactly at the encoding nodes."""
+        machine = alternating_and_or_machine()
+        instance = build_instance(machine, "1", space=1)
+        graph = GraphBuilder().node("c", "Config").node("p", "Pos").node("s", "Symb").node("st", "St").build()
+        graph.add_edge("c", "pos1", "p")
+        graph.add_edge("p", "sym_1", "s")
+        graph.add_edge("p", f"st_{machine.initial_state}", "st")
+        # Symbol_{1,'1'} = Config[pos1 · sym_1] must hold exactly at the Config node
+        from repro.rpq import concat, edge, eval_regex, node
+
+        macro = nest(node("Config"), concat(edge("pos1"), edge("sym_1")))
+        assert eval_regex(macro, graph) == {("c", "c")}
+        state_macro = nest(node("Config"), concat(edge("pos1"), edge(f"st_{machine.initial_state}")))
+        assert eval_regex(state_macro, graph) == {("c", "c")}
+        assert instance.schema is not None
+
+
+class TestLemmaF2Reductions:
+    def test_containment_to_equivalence(self, medical_source_schema):
+        held = (
+            parse_c2rpq("p(x) := Vaccine(x)"),
+            parse_c2rpq("q(x) := (designTarget)(x, y)"),
+        )
+        failed = (
+            parse_c2rpq("p(x) := Antigen(x)"),
+            parse_c2rpq("q(x) := (crossReacting)(x, y)"),
+        )
+        for (left, right), expected in [(held, True), (failed, False)]:
+            first, second, schema = containment_to_equivalence(medical_source_schema, left, right)
+            result = check_equivalence(first, second, schema)
+            solver = ContainmentSolver(medical_source_schema)
+            assert solver.contains(left, right).contained is expected
+            assert result.equivalent is expected
+
+    def test_containment_to_typechecking(self, medical_source_schema):
+        left = parse_c2rpq("p(x) := (designTarget)(x, y)")
+        right = parse_c2rpq("q(x) := (designTarget . crossReacting*)(x, y)")
+        transformation, source, target = containment_to_typechecking(
+            medical_source_schema, left, right
+        )
+        assert type_check(transformation, source, target).well_typed
+
+    def test_containment_to_typechecking_negative(self, medical_source_schema):
+        left = parse_c2rpq("p(x) := Antigen(x)")
+        right = parse_c2rpq("q(x) := (crossReacting)(x, y)")
+        transformation, source, target = containment_to_typechecking(
+            medical_source_schema, left, right
+        )
+        assert not type_check(transformation, source, target).well_typed

@@ -1,0 +1,84 @@
+"""Tests for signed edge labels (Σ±)."""
+
+import pytest
+
+from repro.graph.labels import Direction, SignedLabel, forward, inverse, is_valid_label, signed_closure
+
+
+class TestValidity:
+    def test_plain_label_is_valid(self):
+        assert is_valid_label("knows")
+
+    def test_empty_label_is_invalid(self):
+        assert not is_valid_label("")
+
+    def test_whitespace_is_invalid(self):
+        assert not is_valid_label("a b")
+
+    def test_trailing_dash_is_reserved(self):
+        assert not is_valid_label("knows-")
+
+    def test_non_string_is_invalid(self):
+        assert not is_valid_label(42)
+
+    def test_signed_label_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            SignedLabel("bad label")
+
+
+class TestDirections:
+    def test_forward_helper(self):
+        label = forward("knows")
+        assert label.label == "knows"
+        assert not label.is_inverse
+
+    def test_inverse_helper(self):
+        label = inverse("knows")
+        assert label.is_inverse
+
+    def test_flip(self):
+        assert Direction.FORWARD.flip() is Direction.INVERSE
+        assert Direction.INVERSE.flip() is Direction.FORWARD
+
+    def test_double_inverse_is_identity(self):
+        label = forward("knows")
+        assert label.inverse().inverse() == label
+
+    def test_inverse_changes_direction_only(self):
+        label = forward("knows").inverse()
+        assert label.label == "knows"
+        assert label.direction is Direction.INVERSE
+
+
+class TestTextualForm:
+    def test_str_forward(self):
+        assert str(forward("knows")) == "knows"
+
+    def test_str_inverse(self):
+        assert str(inverse("knows")) == "knows-"
+
+    def test_parse_forward(self):
+        assert SignedLabel.parse("knows") == forward("knows")
+
+    def test_parse_inverse(self):
+        assert SignedLabel.parse("knows-") == inverse("knows")
+
+    def test_parse_strips_whitespace(self):
+        assert SignedLabel.parse("  knows ") == forward("knows")
+
+    def test_round_trip(self):
+        for label in (forward("a"), inverse("a")):
+            assert SignedLabel.parse(str(label)) == label
+
+
+class TestSignedClosure:
+    def test_closure_has_both_directions(self):
+        closure = set(signed_closure(["a", "b"]))
+        assert closure == {forward("a"), inverse("a"), forward("b"), inverse("b")}
+
+    def test_closure_of_empty_is_empty(self):
+        assert list(signed_closure([])) == []
+
+    def test_labels_are_ordered_and_hashable(self):
+        assert len({forward("a"), forward("a")}) == 1
+        assert sorted([inverse("b"), forward("a")]) == [forward("a"), inverse("b")]

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+invariants the paper's constructions rely on."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph import Graph, graph_from_dict, graph_to_dict
+from repro.rpq import (
+    C2RPQ,
+    Atom,
+    build_nfa,
+    concat,
+    edge,
+    eval_regex,
+    node,
+    plus,
+    star,
+    union,
+)
+from repro.rpq.regex import EPSILON, Regex
+from repro.schema import Multiplicity, Schema, conforms
+from repro.dl import conformance_tbox
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+NODE_LABELS = ["A", "B", "C"]
+EDGE_LABELS = ["r", "s"]
+
+label_strategy = st.sampled_from(NODE_LABELS)
+edge_label_strategy = st.sampled_from(EDGE_LABELS)
+signed_edge_strategy = st.sampled_from(["r", "s", "r-", "s-"])
+
+
+@st.composite
+def graphs(draw, max_nodes=5):
+    """Random small labeled graphs."""
+    count = draw(st.integers(min_value=0, max_value=max_nodes))
+    graph = Graph()
+    for index in range(count):
+        labels = draw(st.sets(label_strategy, max_size=2))
+        graph.add_node(index, labels)
+    if count:
+        edge_count = draw(st.integers(min_value=0, max_value=2 * count))
+        for _ in range(edge_count):
+            source = draw(st.integers(min_value=0, max_value=count - 1))
+            target = draw(st.integers(min_value=0, max_value=count - 1))
+            graph.add_edge(source, draw(edge_label_strategy), target)
+    return graph
+
+
+@st.composite
+def regexes(draw, depth=3):
+    """Random small two-way regular expressions."""
+    if depth == 0:
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return node(draw(label_strategy))
+        if choice == 1:
+            return edge(draw(signed_edge_strategy))
+        return EPSILON
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice in (0, 1):
+        return draw(regexes(depth=0))
+    if choice == 2:
+        return concat(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if choice == 3:
+        return union(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    return star(draw(regexes(depth=depth - 1)))
+
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# graph invariants
+# --------------------------------------------------------------------------- #
+class TestGraphProperties:
+    @common_settings
+    @given(graphs())
+    def test_json_round_trip(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    @common_settings
+    @given(graphs())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @common_settings
+    @given(graphs())
+    def test_edge_count_consistent_with_edges(self, graph):
+        assert graph.edge_count() == sum(1 for _ in graph.edges())
+
+    @common_settings
+    @given(graphs())
+    def test_successor_symmetry(self, graph):
+        from repro.graph import forward, inverse
+
+        for source, label, target in graph.edges():
+            assert target in graph.successors(source, forward(label))
+            assert source in graph.successors(target, inverse(label))
+
+    @common_settings
+    @given(graphs(), st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+    def test_merge_preserves_other_edges(self, graph, keep, drop):
+        if not graph.has_node(keep) or not graph.has_node(drop) or keep == drop:
+            return
+        before = {
+            (s, l, t)
+            for s, l, t in graph.edges()
+            if keep not in (s, t) and drop not in (s, t)
+        }
+        graph.merge_nodes(keep, drop)
+        after = set(graph.edges())
+        assert before <= after
+
+
+# --------------------------------------------------------------------------- #
+# regular expression / automaton invariants
+# --------------------------------------------------------------------------- #
+class TestRegexProperties:
+    @common_settings
+    @given(regexes())
+    def test_reverse_is_involutive(self, expr):
+        assert expr.reverse().reverse() == expr
+
+    @common_settings
+    @given(regexes())
+    def test_enumerated_words_are_accepted(self, expr):
+        nfa = build_nfa(expr)
+        for word in nfa.enumerate_words(max_length=6, max_words=30):
+            assert nfa.accepts(word)
+
+    @common_settings
+    @given(regexes())
+    def test_nullable_agrees_with_automaton(self, expr):
+        assert expr.nullable() == build_nfa(expr).accepts_epsilon()
+
+    @common_settings
+    @given(regexes(), graphs())
+    def test_evaluation_matches_reversed_expression(self, expr, graph):
+        forward_answers = eval_regex(expr, graph)
+        backward_answers = eval_regex(expr.reverse(), graph)
+        assert {(b, a) for a, b in forward_answers} == backward_answers
+
+    @common_settings
+    @given(regexes(), graphs())
+    def test_star_monotone(self, expr, graph):
+        base = eval_regex(expr, graph)
+        starred = eval_regex(star(expr), graph)
+        assert base <= starred
+        assert {(n, n) for n in graph.nodes()} <= starred
+
+    @common_settings
+    @given(regexes(), regexes(), graphs())
+    def test_union_is_union_of_answer_sets(self, left, right, graph):
+        assert eval_regex(union(left, right), graph) == eval_regex(left, graph) | eval_regex(
+            right, graph
+        )
+
+    @common_settings
+    @given(regexes(), regexes(), graphs())
+    def test_concat_is_composition(self, left, right, graph):
+        left_answers = eval_regex(left, graph)
+        right_answers = eval_regex(right, graph)
+        composed = {(a, c) for a, b in left_answers for b2, c in right_answers if b == b2}
+        assert eval_regex(concat(left, right), graph) == composed
+
+
+# --------------------------------------------------------------------------- #
+# schema / conformance invariants
+# --------------------------------------------------------------------------- #
+class TestSchemaProperties:
+    @common_settings
+    @given(graphs())
+    def test_conformance_agrees_with_dl_characterisation(self, graph):
+        schema = Schema(NODE_LABELS, EDGE_LABELS, name="P")
+        for a in NODE_LABELS:
+            for r in EDGE_LABELS:
+                for b in NODE_LABELS:
+                    schema.set(a, r, b, Multiplicity.STAR)
+                    schema.set(a, f"{r}-", b, Multiplicity.STAR)
+        direct = conforms(graph, schema)
+        via_tbox = (
+            graph.node_labels() <= schema.node_labels
+            and graph.edge_labels() <= schema.edge_labels
+            and conformance_tbox(schema).holds_in(graph)
+        )
+        assert direct == via_tbox
+
+    @common_settings
+    @given(st.sets(st.sampled_from(NODE_LABELS), min_size=1), st.sets(st.sampled_from(EDGE_LABELS)))
+    def test_schema_l0_round_trip(self, node_labels, edge_labels):
+        from repro.dl import schema_from_l0, schema_to_l0
+
+        schema = Schema(node_labels, edge_labels, name="R")
+        rebuilt = schema_from_l0(schema_to_l0(schema), node_labels, edge_labels)
+        # every unmentioned triple is 0 in the original; the round trip maps it
+        # to 0 as well because T_S contains the ¬∃ statement
+        assert rebuilt == schema
+
+    @common_settings
+    @given(graphs())
+    def test_transformation_output_conforms_to_elicited_schema_shape(self, graph):
+        """Monotone invariant: the identity-style copy of a graph keeps counts."""
+        from repro.workloads.synthetic import chain_copy_transformation
+
+        transformation = chain_copy_transformation(1)
+        output = transformation.apply(graph)
+        # only L0/L1-labeled nodes are copied; the output never has more nodes
+        assert output.node_count() <= graph.node_count()

@@ -1,0 +1,183 @@
+"""Tests for C2RPQs, UC2RPQs, acyclicity and the query parser."""
+
+import pytest
+
+from repro.exceptions import AcyclicityError, ParseError, QueryError
+from repro.rpq import (
+    Atom,
+    C2RPQ,
+    UC2RPQ,
+    EPSILON,
+    edge,
+    equality_atom,
+    label_atom,
+    node,
+    parse_c2rpq,
+    parse_uc2rpq,
+    parse_regex,
+    plus,
+)
+
+
+class TestAtoms:
+    def test_trivial_atoms(self):
+        assert label_atom("A", "x").is_trivial()
+        assert Atom(EPSILON, "x", "x").is_trivial()
+        assert not Atom(edge("r"), "x", "x").is_trivial()
+        assert not label_atom("A", "x").is_self_loop()
+        assert Atom(edge("r"), "x", "x").is_self_loop()
+
+    def test_equality_atom_is_epsilon(self):
+        atom = equality_atom("x", "y")
+        assert atom.regex == EPSILON and not atom.is_trivial()
+
+    def test_variables(self):
+        assert Atom(edge("r"), "x", "y").variables == ("x", "y")
+        assert Atom(edge("r"), "x", "x").variables == ("x",)
+
+    def test_reversed(self):
+        atom = Atom(edge("r"), "x", "y").reversed()
+        assert atom.source == "y" and atom.target == "x"
+        assert atom.regex.signed.is_inverse
+
+    def test_rename(self):
+        atom = Atom(edge("r"), "x", "y").rename({"x": "z"})
+        assert atom.source == "z"
+
+    def test_invalid_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom(edge("r"), "", "y")
+
+
+class TestC2RPQ:
+    def test_free_and_existential_variables(self):
+        query = parse_c2rpq("q(x) := (r)(x, y), (s)(y, z)")
+        assert query.free_variables == ("x",)
+        assert query.existential_variables() == {"y", "z"}
+        assert not query.is_boolean()
+        assert query.boolean().is_boolean()
+
+    def test_unknown_free_variable_rejected(self):
+        with pytest.raises(QueryError):
+            C2RPQ([Atom(edge("r"), "x", "y")], ["z"])
+
+    def test_alphabets_and_size(self):
+        query = parse_c2rpq("q() := (Vaccine . designTarget)(x, y), Antigen(y)")
+        assert query.node_labels() == {"Vaccine", "Antigen"}
+        assert query.edge_labels() == {"designTarget"}
+        assert query.size() >= 4
+
+    def test_rename_and_fresh_variables(self):
+        query = parse_c2rpq("q(x) := (r)(x, y)")
+        renamed = query.with_fresh_variables("_1")
+        assert renamed.free_variables == ("x_1",)
+        assert renamed.variables() == {"x_1", "y_1"}
+
+    def test_conjoin_shares_variables(self):
+        left = parse_c2rpq("l(x) := (r)(x, y)")
+        right = parse_c2rpq("r(x) := (s)(x, z)")
+        conjunction = left.conjoin(right)
+        assert conjunction.variables() == {"x", "y", "z"}
+        assert len(conjunction.atoms) == 2
+
+    def test_project(self):
+        query = parse_c2rpq("q(x, y) := (r)(x, y)")
+        assert query.project(["x"]).free_variables == ("x",)
+
+    def test_connected_components(self):
+        query = parse_c2rpq("q() := (r)(x, y), (s)(u, v)")
+        components = query.connected_components()
+        assert len(components) == 2
+        assert query.is_connected() is False
+
+    def test_equality_and_hash(self):
+        left = parse_c2rpq("q(x) := (r)(x, y)")
+        right = parse_c2rpq("p(x) := (r)(x, y)")
+        assert left == right
+        assert len({left, right}) == 1
+
+
+class TestAcyclicity:
+    def test_single_path_atom_is_acyclic(self):
+        assert parse_c2rpq("q() := (r . s*)(x, y)").is_acyclic()
+
+    def test_tree_of_atoms_is_acyclic(self):
+        assert parse_c2rpq("q() := (r)(x, y), (s)(x, z), (t)(z, w)").is_acyclic()
+
+    def test_self_loop_atom_is_cyclic(self):
+        assert not parse_c2rpq("q() := (r)(x, x)").is_acyclic()
+
+    def test_parallel_atoms_are_cyclic(self):
+        # the Gaifman graph would be acyclic, the query multigraph is not
+        # (this is the φ(x,y) ∧ ψ(x,y) example from Section 3)
+        assert not parse_c2rpq("q() := (r)(x, y), (s)(x, y)").is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        assert not parse_c2rpq("q() := (r)(x, y), (r)(y, z), (r)(z, x)").is_acyclic()
+
+    def test_trivial_atoms_do_not_create_cycles(self):
+        assert parse_c2rpq("q() := A(x), B(x), (r)(x, y)").is_acyclic()
+
+    def test_require_acyclic_raises(self):
+        with pytest.raises(AcyclicityError):
+            parse_c2rpq("q() := (r)(x, x)").require_acyclic()
+
+    def test_figure4_query_is_cyclic(self):
+        # Example 6.2: p(x,y) = (a·b·c+·d·a)(x,y) ∧ (a*)(x,y) ∧ (a*·b·d·a*)(x,y)
+        query = parse_c2rpq(
+            "p(x, y) := (a . b . c+ . d . a)(x, y), (a*)(x, y), (a* . b . d . a*)(x, y)"
+        )
+        assert not query.is_acyclic()
+
+
+class TestUC2RPQ:
+    def test_union_arity_must_match(self):
+        unary = parse_c2rpq("q(x) := A(x)")
+        boolean = parse_c2rpq("p() := A(x)")
+        with pytest.raises(QueryError):
+            UC2RPQ([unary, boolean])
+
+    def test_union_properties(self):
+        union = parse_uc2rpq(["q(x) := A(x)", "q2(x) := (r)(x, y)"], name="U")
+        assert union.arity() == 1
+        assert len(union) == 2
+        assert union.node_labels() == {"A"}
+        assert union.edge_labels() == {"r"}
+        assert union.is_acyclic()
+
+    def test_empty_union(self):
+        empty = UC2RPQ([])
+        assert empty.is_empty() and empty.is_boolean()
+
+    def test_boolean_and_map(self):
+        union = parse_uc2rpq(["q(x) := A(x)"])
+        assert union.boolean().is_boolean()
+        mapped = union.map(lambda disjunct: disjunct.project([]))
+        assert mapped.arity() == 0
+
+    def test_from_query(self):
+        query = parse_c2rpq("q(x) := A(x)")
+        assert len(UC2RPQ.from_query(query)) == 1
+
+
+class TestParser:
+    def test_head_and_body(self):
+        query = parse_c2rpq("q(x, y) := (designTarget . crossReacting*)(x, y), Antigen(y)")
+        assert query.free_variables == ("x", "y")
+        assert len(query.atoms) == 2
+
+    def test_label_atom_shorthand(self):
+        query = parse_c2rpq("q(x) := Vaccine(x)")
+        assert query.atoms[0].is_trivial()
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c2rpq("q(x) = A(x)")
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c2rpq("q(x) := (r)(x, y, z)")
+
+    def test_nested_parentheses_in_regex(self):
+        query = parse_c2rpq("q() := ((a + b)* . c)(x, y)")
+        assert query.atoms[0].regex.edge_labels() == {"a", "b", "c"}

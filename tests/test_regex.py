@@ -1,0 +1,151 @@
+"""Tests for two-way regular expressions and their parser."""
+
+import pytest
+
+from repro.exceptions import ParseError, QueryError
+from repro.rpq import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Star,
+    Union,
+    concat,
+    edge,
+    node,
+    optional,
+    parse_regex,
+    plus,
+    star,
+    union,
+    word,
+)
+from repro.rpq.regex import EdgeStep, NodeTest
+
+
+class TestConstruction:
+    def test_node_test_requires_label(self):
+        with pytest.raises(QueryError):
+            NodeTest("")
+
+    def test_edge_step_from_string(self):
+        assert edge("r").signed.label == "r"
+        assert edge("r-").signed.is_inverse
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == EPSILON
+
+    def test_union_of_nothing_is_empty(self):
+        assert union() == EMPTY
+
+    def test_plus_desugars_to_concat_star(self):
+        expr = plus(edge("r"))
+        assert isinstance(expr, Concat)
+        assert isinstance(expr.right, Star)
+
+    def test_optional_desugars_to_union_epsilon(self):
+        expr = optional(edge("r"))
+        assert isinstance(expr, Union)
+        assert EPSILON in (expr.left, expr.right)
+
+    def test_word_uses_case_convention(self):
+        expr = word("Vaccine", "designTarget", "Antigen")
+        symbols = list(expr.symbols())
+        assert isinstance(symbols[0], NodeTest)
+        assert isinstance(symbols[1], EdgeStep)
+        assert isinstance(symbols[2], NodeTest)
+
+    def test_operator_sugar(self):
+        expr = node("A") * edge("r") + node("B")
+        assert isinstance(expr, Union)
+
+
+class TestProperties:
+    def test_alphabets(self):
+        expr = concat(node("A"), edge("r"), star(edge("s-")))
+        assert expr.node_labels() == {"A"}
+        assert expr.edge_labels() == {"r", "s"}
+
+    def test_size_counts_ast_nodes(self):
+        assert node("A").size() == 1
+        assert concat(node("A"), edge("r")).size() == 3
+
+    def test_nullable(self):
+        assert star(edge("r")).nullable()
+        assert EPSILON.nullable()
+        assert not edge("r").nullable()
+        assert union(edge("r"), EPSILON).nullable()
+        assert not concat(edge("r"), star(edge("s"))).nullable()
+
+    def test_empty_language_detection(self):
+        assert EMPTY.is_empty_language()
+        assert concat(edge("r"), EMPTY).is_empty_language()
+        assert not union(EMPTY, edge("r")).is_empty_language()
+
+    def test_reverse_inverts_edges_and_order(self):
+        expr = concat(edge("r"), edge("s"))
+        assert str(expr.reverse()) == "s- . r-"
+
+    def test_reverse_is_involutive(self):
+        expr = concat(node("A"), star(union(edge("r"), edge("s-"))))
+        assert expr.reverse().reverse() == expr
+
+    def test_reverse_keeps_node_tests(self):
+        assert node("A").reverse() == node("A")
+
+    def test_equality_and_hashing(self):
+        assert concat(edge("r"), edge("s")) == concat(edge("r"), edge("s"))
+        assert len({star(edge("r")), star(edge("r"))}) == 1
+
+
+class TestParser:
+    def test_example_32_query(self):
+        expr = parse_regex("Vaccine . designTarget . crossReacting* . Antigen")
+        assert expr.node_labels() == {"Vaccine", "Antigen"}
+        assert expr.edge_labels() == {"designTarget", "crossReacting"}
+
+    def test_plus_postfix_versus_union(self):
+        postfix = parse_regex("r . s+ . r")
+        assert postfix.edge_labels() == {"r", "s"}
+        union_expr = parse_regex("a + b")
+        assert isinstance(union_expr, Union)
+
+    def test_example_52_query(self):
+        expr = parse_regex("r . s+ . r")
+        # s+ unfolds to s·s*
+        assert "s" in str(expr)
+
+    def test_inverse_edges(self):
+        expr = parse_regex("a-")
+        assert isinstance(expr, EdgeStep) and expr.signed.is_inverse
+
+    def test_epsilon_and_empty(self):
+        assert parse_regex("<eps>") == EPSILON
+        assert parse_regex("<empty>") == EMPTY
+
+    def test_parentheses_and_nesting(self):
+        expr = parse_regex("(a . b)* + c?")
+        assert isinstance(expr, Union)
+
+    def test_juxtaposition_is_concatenation(self):
+        assert parse_regex("A r B") == parse_regex("A . r . B")
+
+    def test_case_convention(self):
+        expr = parse_regex("Antigen . crossReacting")
+        symbols = list(expr.symbols())
+        assert isinstance(symbols[0], NodeTest) and isinstance(symbols[1], EdgeStep)
+
+    def test_round_trip_via_str(self):
+        expr = parse_regex("(Vaccine . designTarget . crossReacting*) + exhibits-")
+        assert parse_regex(str(expr)) == expr
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(ParseError):
+            parse_regex("(a . b")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_regex("a ..")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_regex("a ; b")

@@ -1,0 +1,107 @@
+"""Tests for schema containment (Proposition B.3) and the schema DSL."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.schema import (
+    Multiplicity,
+    Schema,
+    parse_schema,
+    schema_contained_in,
+    schema_containment_counterexamples,
+    schema_equivalent,
+    schema_to_text,
+)
+
+
+def loose_and_tight():
+    tight = Schema(["A", "B"], ["r"], name="tight")
+    tight.set_edge("A", "r", "B", "1", "?")
+    loose = Schema(["A", "B"], ["r"], name="loose")
+    loose.set_edge("A", "r", "B", "+", "*")
+    return tight, loose
+
+
+class TestContainment:
+    def test_tight_contained_in_loose(self):
+        tight, loose = loose_and_tight()
+        assert schema_contained_in(tight, loose)
+
+    def test_loose_not_contained_in_tight(self):
+        tight, loose = loose_and_tight()
+        assert not schema_contained_in(loose, tight)
+
+    def test_counterexample_triple_reported(self):
+        tight, loose = loose_and_tight()
+        examples = schema_containment_counterexamples(loose, tight)
+        assert examples
+        assert any(example.left is Multiplicity.PLUS for example in examples)
+
+    def test_reflexive(self, medical_source_schema):
+        assert schema_contained_in(medical_source_schema, medical_source_schema)
+
+    def test_equivalence_of_copies(self, medical_source_schema):
+        assert schema_equivalent(medical_source_schema, medical_source_schema.copy("other"))
+
+    def test_extra_node_label_breaks_containment(self):
+        small = Schema(["A"], ["r"], name="small")
+        big = Schema(["A", "B"], ["r"], name="big")
+        assert schema_contained_in(small, big)
+        assert not schema_contained_in(big, small)
+
+    def test_implicit_zero_versus_star(self):
+        forbids = Schema(["A", "B"], ["r"], name="forbids")  # r implicitly forbidden
+        allows = Schema(["A", "B"], ["r"], name="allows")
+        allows.set_edge("A", "r", "B", "*", "*")
+        assert schema_contained_in(forbids, allows)
+        assert not schema_contained_in(allows, forbids)
+
+    def test_medical_source_not_contained_in_target(self, medical_source_schema, medical_target_schema):
+        # S0 allows crossReacting edges that S1 forbids (different edge alphabets)
+        assert not schema_contained_in(medical_source_schema, medical_target_schema)
+
+
+SCHEMA_TEXT = """
+schema S0 {
+  nodes Vaccine, Antigen, Pathogen;
+  edge Vaccine -designTarget-> Antigen [1, *];
+  edge Antigen -crossReacting-> Antigen [*, *];
+  edge Pathogen -exhibits-> Antigen [+, *];
+}
+"""
+
+
+class TestParser:
+    def test_parse_matches_programmatic_schema(self, medical_source_schema):
+        parsed = parse_schema(SCHEMA_TEXT)
+        assert parsed == medical_source_schema
+
+    def test_round_trip_through_text(self, medical_source_schema):
+        text = schema_to_text(medical_source_schema)
+        assert parse_schema(text) == medical_source_schema
+
+    def test_comments_are_ignored(self):
+        parsed = parse_schema("schema S { nodes A; # comment\n edge A -r-> A [*, *]; }")
+        assert parsed.node_labels == {"A"}
+
+    def test_fine_grained_constraint(self):
+        parsed = parse_schema(
+            "schema S { nodes A, B; edges r; constraint A -r-> B : 1; constraint B <-r- A : ?; }"
+        )
+        assert parsed.multiplicity("A", "r", "B") is Multiplicity.ONE
+        assert parsed.multiplicity("B", "r-", "A") is Multiplicity.OPTIONAL
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("nodes A;")
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("schema S { edges r; }")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("schema S { nodes A; edge A -r- A [*, *]; }")
+
+    def test_name_is_kept(self):
+        assert parse_schema("schema Demo { nodes A; }").name == "Demo"

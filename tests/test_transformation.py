@@ -1,0 +1,194 @@
+"""Tests for node constructors, rules, transformations and their application
+semantics (Section 4), including Example 4.1."""
+
+import pytest
+
+from repro.exceptions import ConstructorError, ParseError, TransformationError
+from repro.graph import GraphBuilder
+from repro.rpq import Atom, C2RPQ, edge, node, parse_c2rpq
+from repro.schema import conforms
+from repro.transform import (
+    ConstructedNode,
+    ConstructorRegistry,
+    EdgeRule,
+    NodeConstructor,
+    NodeRule,
+    Transformation,
+    parse_transformation,
+)
+from repro.workloads import medical, social
+
+
+class TestConstructors:
+    def test_constructed_nodes_are_terms(self):
+        constructor = NodeConstructor("fV", 1, "Vaccine")
+        term = constructor("v1")
+        assert isinstance(term, ConstructedNode)
+        assert str(term) == "fV(v1)"
+
+    def test_injectivity(self):
+        constructor = NodeConstructor("fV", 1)
+        assert constructor("a") == constructor("a")
+        assert constructor("a") != constructor("b")
+
+    def test_disjoint_ranges_across_names(self):
+        assert NodeConstructor("fV", 1)("a") != NodeConstructor("fA", 1)("a")
+
+    def test_arity_checked(self):
+        with pytest.raises(ConstructorError):
+            NodeConstructor("fM", 2)("only-one")
+
+    def test_binary_constructor(self):
+        member = NodeConstructor("fM", 2)("alice", "admins")
+        assert member.arguments == ("alice", "admins")
+
+    def test_registry_one_constructor_per_label(self):
+        registry = ConstructorRegistry()
+        registry.register(NodeConstructor("fV", 1, "Vaccine"))
+        with pytest.raises(ConstructorError):
+            registry.register(NodeConstructor("fOther", 1, "Vaccine"))
+
+    def test_registry_consistent_arity(self):
+        registry = ConstructorRegistry()
+        registry.register(NodeConstructor("fV", 1))
+        with pytest.raises(ConstructorError):
+            registry.register(NodeConstructor("fV", 2))
+
+    def test_registry_lookup(self):
+        registry = ConstructorRegistry()
+        registry.register(NodeConstructor("fV", 1, "Vaccine"))
+        assert registry.for_label("Vaccine").name == "fV"
+        assert registry.by_name("fV").label == "Vaccine"
+
+
+class TestRules:
+    def test_node_rule_arity_must_match(self):
+        body = parse_c2rpq("b(x) := Vaccine(x)")
+        with pytest.raises(TransformationError):
+            NodeRule("Vaccine", NodeConstructor("fV", 2), ("x",), body)
+
+    def test_cyclic_body_rejected(self):
+        body = parse_c2rpq("b(x) := (crossReacting)(x, x)")
+        with pytest.raises(TransformationError):
+            NodeRule("Antigen", NodeConstructor("fA", 1), ("x",), body)
+
+    def test_head_variables_must_occur(self):
+        body = parse_c2rpq("b(y) := Antigen(y)")
+        with pytest.raises(TransformationError):
+            NodeRule("Antigen", NodeConstructor("fA", 1), ("x",), body)
+
+    def test_edge_rule_head_tuples_disjoint(self):
+        body = parse_c2rpq("b(x) := (crossReacting)(x, y)")
+        with pytest.raises(TransformationError):
+            EdgeRule(
+                "targets",
+                NodeConstructor("fV", 1),
+                ("x",),
+                NodeConstructor("fA", 1),
+                ("x",),
+                body,
+            )
+
+    def test_rule_rendering(self):
+        body = parse_c2rpq("b(x, y) := (designTarget)(x, y)")
+        rule = EdgeRule(
+            "targets", NodeConstructor("fV", 1), ("x",), NodeConstructor("fA", 1), ("y",), body
+        )
+        assert "targets(fV(x), fA(y))" in str(rule)
+
+
+class TestApplication:
+    def test_example_41_on_sample_graph(self, medical_graph, medical_target_schema):
+        output = medical.migration().apply(medical_graph)
+        assert conforms(output, medical_target_schema)
+        fV, fA = NodeConstructor("fV", 1), NodeConstructor("fA", 1)
+        # the design target is always targeted
+        assert output.has_edge(fV("measles-vaccine"), "targets", fA("H-protein"))
+        # ... and so are antigens reachable through cross-reactions (Example 1.1)
+        assert output.has_edge(fV("measles-vaccine"), "targets", fA("F-protein"))
+        assert not output.has_edge(fV("mumps-vaccine"), "targets", fA("F-protein"))
+        # crossReacting edges are gone
+        assert "crossReacting" not in output.edge_labels()
+
+    def test_output_node_identity_controlled_by_constructors(self, medical_graph):
+        output = medical.migration().apply(medical_graph)
+        antigens_in = {n for n in medical_graph.nodes() if medical_graph.has_label(n, "Antigen")}
+        antigens_out = set(output.nodes_with_label("Antigen"))
+        assert len(antigens_in) == len(antigens_out)
+
+    def test_unlabeled_output_nodes_possible(self):
+        # an edge rule using a constructor with no node rule leaves nodes unlabeled
+        body = parse_c2rpq("b(x, y) := (r)(x, y)")
+        transformation = Transformation(
+            [EdgeRule("s", NodeConstructor("f", 1), ("x",), NodeConstructor("g", 1), ("y",), body)]
+        )
+        output = transformation.apply(GraphBuilder().edge("a", "r", "b").build())
+        assert output.edge_count() == 1
+        assert all(not output.labels(n) for n in output.nodes())
+
+    def test_empty_transformation_produces_empty_graph(self, medical_graph):
+        assert Transformation().apply(medical_graph).is_empty()
+
+    def test_binary_constructor_reification(self, social_schemas):
+        source_schema, target_schema = social_schemas
+        instance = social.random_instance(seed=2)
+        assert conforms(instance, source_schema)
+        output = social.reification().apply(instance)
+        assert conforms(output, target_schema)
+        memberships = list(output.nodes_with_label("Membership"))
+        assert memberships
+        # every membership node records the (person, group) pair it reifies
+        for membership in memberships:
+            assert len(membership.arguments) == 2
+
+    def test_transformation_signature(self):
+        transformation = medical.migration()
+        assert transformation.node_labels() == {"Vaccine", "Antigen", "Pathogen"}
+        assert transformation.edge_labels() == {"designTarget", "targets", "exhibits"}
+        assert transformation.input_edge_labels() == {"designTarget", "crossReacting", "exhibits"}
+        assert transformation.constructor_for_label("Vaccine").name == "fV"
+        assert transformation.label_of_constructor("fA") == "Antigen"
+
+    def test_callable_alias(self, medical_graph):
+        transformation = medical.migration()
+        assert transformation(medical_graph) == transformation.apply(medical_graph)
+
+    def test_describe(self):
+        assert "targets(fV(x), fA(y))" in medical.migration().describe()
+
+
+class TestParser:
+    def test_parse_example_41(self):
+        transformation = medical.migration()
+        assert len(transformation.node_rules) == 3
+        assert len(transformation.edge_rules) == 3
+
+    def test_rule_bodies_parsed_as_regexes(self):
+        transformation = medical.migration()
+        targets_rule = next(r for r in transformation.edge_rules if r.edge_label == "targets")
+        assert targets_rule.body.edge_labels() == {"designTarget", "crossReacting"}
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transformation("transformation T { Vaccine(fV(x)) : (Vaccine)(x); }")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transformation("Vaccine(fV(x)) <- (Vaccine)(x);")
+
+    def test_three_constructor_terms_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transformation(
+                "transformation T { r(f(x), g(y), h(z)) <- (Vaccine)(x); }"
+            )
+
+    def test_comments_ignored(self):
+        transformation = parse_transformation(
+            """
+            transformation T {
+              # copy every antigen
+              Antigen(fA(x)) <- (Antigen)(x);
+            }
+            """
+        )
+        assert len(transformation.node_rules) == 1

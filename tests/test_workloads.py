@@ -1,0 +1,102 @@
+"""Tests for the packaged workloads (medical, FHIR, social, synthetic)."""
+
+import pytest
+
+from repro.schema import conforms
+from repro.containment import schema_has_finmod_cycle
+from repro.workloads import fhir, medical, social, synthetic
+
+
+class TestMedical:
+    def test_schemas_match_figure_1(self):
+        s0, s1 = medical.source_schema(), medical.target_schema()
+        assert s0.node_labels == {"Vaccine", "Antigen", "Pathogen"}
+        assert "crossReacting" in s0.edge_labels and "crossReacting" not in s1.edge_labels
+        assert "targets" in s1.edge_labels and "targets" not in s0.edge_labels
+
+    def test_sample_graph_conforms(self):
+        assert conforms(medical.sample_graph(), medical.source_schema())
+
+    def test_random_instances_conform(self):
+        schema = medical.source_schema()
+        for seed in range(8):
+            assert conforms(medical.random_instance(seed=seed), schema)
+
+    def test_random_instance_sizes(self):
+        graph = medical.random_instance(vaccines=10, antigens=12, pathogens=5, seed=0)
+        assert len(list(graph.nodes_with_label("Vaccine"))) == 10
+        assert len(list(graph.nodes_with_label("Antigen"))) == 12
+        assert len(list(graph.nodes_with_label("Pathogen"))) == 5
+
+    def test_transformations_parse(self):
+        assert len(medical.migration().rules()) == 6
+        assert len(medical.broken_migration().rules()) == 6
+        assert len(medical.redundant_migration().rules()) == 7
+
+
+class TestFhir:
+    def test_instances_conform(self):
+        schema = fhir.schema_v3()
+        for seed in range(5):
+            assert conforms(fhir.random_instance(seed=seed), schema)
+
+    def test_migration_output_conforms(self):
+        migration = fhir.migration_v3_to_v4()
+        target = fhir.schema_v4()
+        for seed in range(3):
+            output = migration.apply(fhir.random_instance(seed=seed))
+            assert conforms(output, target)
+
+    def test_broken_migration_output_violates(self):
+        broken = fhir.broken_migration_v3_to_v4()
+        target = fhir.schema_v4()
+        assert not conforms(broken.apply(fhir.random_instance(seed=0)), target)
+
+    def test_literal_nodes_are_modeled(self):
+        assert "HumanName" in fhir.schema_v3().node_labels
+
+
+class TestSocial:
+    def test_instances_conform(self):
+        schema = social.schema_v1()
+        for seed in range(5):
+            assert conforms(social.random_instance(seed=seed), schema)
+
+    def test_reification_output_conforms(self):
+        output = social.reification().apply(social.random_instance(seed=1))
+        assert conforms(output, social.schema_v2())
+
+    def test_broken_reification_output_violates(self):
+        instance = social.random_instance(seed=3, friendship_probability=0.6)
+        output = social.broken_reification().apply(instance)
+        assert not conforms(output, social.schema_v2())
+
+
+class TestSynthetic:
+    def test_chain_schema_and_instance(self):
+        schema = synthetic.chain_schema(4)
+        instance = synthetic.chain_instance(4, rows=3, seed=0)
+        assert conforms(instance, schema)
+
+    def test_chain_copy_transformation_well_typed(self):
+        from repro.analysis import type_check
+
+        schema = synthetic.chain_schema(2)
+        result = type_check(synthetic.chain_copy_transformation(2), schema, schema)
+        assert result.well_typed
+
+    def test_chain_collapse_produces_shortcuts(self):
+        schema = synthetic.chain_schema(3)
+        instance = synthetic.chain_instance(3, rows=2, seed=1)
+        output = synthetic.chain_collapse_transformation(3).apply(instance)
+        assert "shortcut" in output.edge_labels()
+        assert output.node_labels() == {"L0", "L3"}
+
+    def test_queries(self):
+        assert synthetic.path_query(3).is_acyclic()
+        assert synthetic.star_query(4).is_acyclic()
+        assert synthetic.path_query(2, with_star=True).size() > synthetic.path_query(2).size()
+
+    def test_cycle_schema_has_finmod_cycle(self):
+        assert schema_has_finmod_cycle(synthetic.cycle_schema(3))
+        assert not schema_has_finmod_cycle(synthetic.chain_schema(3))
