@@ -1,0 +1,25 @@
+# Developer entry points. Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH, so no install step is required.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check check
+
+# tier-1 test suite (the gate every change must keep green)
+test:
+	$(PY) -m pytest -x -q
+
+# the engine-centric benchmarks: cold/warm batches and the analysis breakdown
+bench-smoke:
+	$(PY) -m pytest -q -s benchmarks/bench_scaling_containment.py benchmarks/bench_pipeline_breakdown.py
+
+# every benchmark suite (bench_*.py files are not auto-collected; list them)
+bench:
+	$(PY) -m pytest -q $(wildcard benchmarks/bench_*.py)
+
+# execute README/docs code blocks and validate internal doc references
+docs-check:
+	$(PY) tools/docs_check.py
+
+check: test docs-check

@@ -2,12 +2,16 @@
 
 For each packaged workload, counts how many containment tests the three
 static-analysis problems issue (the polynomial Turing reduction of Theorem
-4.2) and measures the end-to-end cost of each stage.
+4.2) and measures the end-to-end cost of each stage — including how much of
+it the cached containment engine amortises on cold vs warm runs.
 """
+
+import time
 
 import pytest
 
 from repro.analysis import check_equivalence, check_label_coverage, elicit_schema, type_check
+from repro.engine import ContainmentEngine
 from repro.workloads import fhir, medical, social
 
 
@@ -59,3 +63,47 @@ def test_equivalence_breakdown_medical(benchmark):
         iterations=1,
     )
     assert result.equivalent
+
+
+# --------------------------------------------------------------------------- #
+# E10b — cold vs warm analysis runs through the cached containment engine
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_type_check_cold_vs_warm(workload):
+    """Re-running type checking on a warm engine reuses the per-schema caches;
+    the verdict and the number of issued containment calls are unchanged."""
+    source_fn, target_fn, transformation_fn = WORKLOADS[workload]
+    source, target, transformation = source_fn(), target_fn(), transformation_fn()
+
+    engine = ContainmentEngine()
+    started = time.perf_counter()
+    cold = type_check(transformation, source, target, engine=engine)
+    cold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = type_check(transformation, source, target, engine=engine)
+    warm_seconds = time.perf_counter() - started
+
+    assert cold.well_typed and warm.well_typed
+    assert cold.containment_calls == warm.containment_calls
+    stats = engine.stats
+    assert stats.results.hits >= warm.containment_calls
+    print(
+        f"\n{workload}: type check cold {cold_seconds * 1000:.1f} ms "
+        f"({cold.containment_calls} containment calls), warm {warm_seconds * 1000:.1f} ms; "
+        f"result cache {stats.results.hits} hits / {stats.results.misses} misses"
+    )
+
+
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_elicitation_engine_timing(benchmark, mode):
+    """Schema elicitation is the densest containment batch; the warm engine
+    serves the entire statement sweep out of the result cache."""
+    transformation, source = medical.migration(), medical.source_schema()
+    if mode == "cold":
+        run = lambda: elicit_schema(transformation, source, engine=ContainmentEngine())
+    else:
+        engine = ContainmentEngine()
+        elicit_schema(transformation, source, engine=engine)
+        run = lambda: elicit_schema(transformation, source, engine=engine)
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.containment_calls > 0

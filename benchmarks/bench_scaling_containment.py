@@ -2,14 +2,19 @@
 
 Charts the cost of containment modulo schema as the left query grows (longer
 derived paths, more star nesting) and the cost of the underlying chase-based
-satisfiability check, on the medical schema and the synthetic chain family.
+satisfiability check, on the medical schema and the synthetic chain family —
+plus the cold-vs-warm behaviour of the cached containment engine on repeated
+same-schema batches (the serving scenario of docs/ARCHITECTURE.md).
 """
+
+import time
 
 import pytest
 
 from repro.chase import is_satisfiable
 from repro.containment import ContainmentSolver
 from repro.dl import schema_to_extended_tbox
+from repro.engine import ContainmentEngine
 from repro.rpq import C2RPQ, Atom, parse_c2rpq
 from repro.rpq.regex import concat, edge, node, star
 from repro.workloads import medical, synthetic
@@ -46,3 +51,101 @@ def test_satisfiability_scaling(benchmark, length):
     query = C2RPQ([Atom(path, "x", "y"), Atom(node("L0"), "x", "x")], [], name="sat")
     result = benchmark(lambda: is_satisfiable(query, tbox))
     assert result.satisfiable
+
+
+# --------------------------------------------------------------------------- #
+# E8b — cold vs warm batches through the cached containment engine
+# --------------------------------------------------------------------------- #
+def _medical_batch():
+    """A same-schema batch mixing path shapes and right-hand sides."""
+    schema = medical.source_schema()
+    rights = [
+        parse_c2rpq("q(x) := Vaccine(x)"),
+        parse_c2rpq("q2(x) := Antigen(x)"),
+    ]
+    batch = []
+    for stars in (0, 1, 2):
+        tail = concat(*([edge("crossReacting")] * stars)) if stars else concat()
+        regex = concat(edge("designTarget"), tail, star(edge("crossReacting")))
+        left = C2RPQ([Atom(regex, "x", "y")], ["x"], name=f"p{stars}")
+        for right in rights:
+            batch.append((left, right))
+    batch.append((parse_c2rpq("pv(x) := Vaccine(x)"), rights[0]))
+    batch.append((parse_c2rpq("pa(x) := (exhibits)(x, y)"), rights[1]))
+    return schema, batch
+
+
+def _verdict(result):
+    """The observable outcome of one containment test (wall-clock excluded)."""
+    return (result.contained, result.regime, result.tbox_size, result.patterns_checked, result.reason)
+
+
+def test_batch_warm_over_cold_speedup():
+    """Repeating a same-schema batch on a warm engine must be ≥ 2× faster,
+    with verdicts bit-identical to a cache-free solver run."""
+    schema, batch = _medical_batch()
+
+    baseline = [ContainmentSolver(schema).contains(left, right) for left, right in batch]
+
+    engine = ContainmentEngine()
+    started = time.perf_counter()
+    cold = engine.check_many(batch, schema=schema)
+    cold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = engine.check_many(batch, schema=schema)
+    warm_seconds = time.perf_counter() - started
+
+    assert [_verdict(r) for r in cold] == [_verdict(r) for r in baseline]
+    assert [_verdict(r) for r in warm] == [_verdict(r) for r in baseline]
+    # the completed TBoxes behind the verdicts are bit-identical as well
+    for served, fresh in zip(warm, baseline):
+        assert (
+            served.completion.tbox.canonical_fingerprint()
+            == fresh.completion.tbox.canonical_fingerprint()
+        )
+
+    stats = engine.stats
+    assert stats.results.hits >= len(batch)  # the whole second pass was served warm
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    print(
+        f"\nbatch of {len(batch)}: cold {cold_seconds * 1000:.1f} ms, "
+        f"warm {warm_seconds * 1000:.1f} ms, speedup {speedup:.0f}x"
+    )
+    print(stats.summary())
+    assert speedup >= 2.0
+
+
+def test_warm_schema_accelerates_novel_queries():
+    """Fresh left-hand sides against an already-seen (schema, right) pair skip
+    the roll-up/completion stages via the completion cache."""
+    schema, batch = _medical_batch()
+    engine = ContainmentEngine()
+    engine.check_many(batch, schema=schema)
+
+    novel = [
+        (parse_c2rpq("n1(x) := (designTarget . crossReacting)(x, y)"), parse_c2rpq("q(x) := Vaccine(x)")),
+        (parse_c2rpq("n2(x) := (exhibits . crossReacting*)(x, y)"), parse_c2rpq("q2(x) := Antigen(x)")),
+    ]
+    before = engine.stats
+    results = engine.check_many(novel, schema=schema)
+    after = engine.stats
+
+    baseline = [ContainmentSolver(schema).contains(left, right) for left, right in novel]
+    assert [_verdict(r) for r in results] == [_verdict(r) for r in baseline]
+    assert after.results.hits == before.results.hits  # genuinely novel instances
+    assert after.completions.hits > before.completions.hits
+
+
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_containment_engine_batch_timing(benchmark, mode):
+    """pytest-benchmark view of the same cold/warm contrast."""
+    schema, batch = _medical_batch()
+    if mode == "cold":
+        run = lambda: ContainmentEngine().check_many(batch, schema=schema)
+    else:
+        engine = ContainmentEngine()
+        engine.check_many(batch, schema=schema)
+        run = lambda: engine.check_many(batch, schema=schema)
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    # the batch mixes contained and non-contained instances by construction
+    assert results[0].contained and not results[1].contained

@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness (see DESIGN.md §4 and EXPERIMENTS.md)."""
+"""Shared fixtures for the benchmark harness (see the benchmark section of README.md)."""
 
 import pytest
 

@@ -17,6 +17,7 @@ the full API:
 * :mod:`repro.transform` — transformations and their application;
 * :mod:`repro.analysis` — type checking, equivalence, schema elicitation;
 * :mod:`repro.containment` — query containment modulo schema;
+* :mod:`repro.engine` — the cached containment engine and its batch API;
 * :mod:`repro.workloads` — ready-made scenarios (the paper's medical example,
   FHIR-style migrations, synthetic generators).
 """
@@ -39,6 +40,7 @@ from .analysis import (
     type_check,
 )
 from .containment import ContainmentResult, contains
+from .engine import ContainmentEngine, ContainmentRequest, default_engine
 
 __version__ = "1.0.0"
 
@@ -68,5 +70,8 @@ __all__ = [
     "type_check",
     "ContainmentResult",
     "contains",
+    "ContainmentEngine",
+    "ContainmentRequest",
+    "default_engine",
     "__version__",
 ]

@@ -1,5 +1,25 @@
 """Static analysis of graph transformations: type checking, equivalence,
-target schema elicitation (the paper's core contribution)."""
+target schema elicitation (the paper's core contribution).
+
+Re-exports:
+
+* :func:`type_check` / :class:`TypeCheckResult` — does ``T(G)`` conform to
+  the target schema for every conforming input ``G`` (Theorem 4.2)?
+* :func:`check_equivalence` / :class:`EquivalenceResult` /
+  :class:`EquivalenceDifference` — do two transformations agree on every
+  conforming input (Lemma B.8)?
+* :func:`elicit_schema` / :class:`ElicitationResult` — construct the
+  containment-minimal target schema of a transformation (Lemma B.5);
+* :func:`check_label_coverage` / :class:`CoverageResult` /
+  :class:`CoverageCheck` — the "every output node is labeled" premise
+  (Lemma B.6);
+* :class:`StatementChecker` / :class:`StatementEntailment` — the Lemma B.7
+  entailment tests for individual L0 statements.
+
+All entry points accept an ``engine`` argument and otherwise share the
+process-wide :func:`repro.engine.default_engine`, so their many containment
+tests reuse per-schema caches.
+"""
 
 from .coverage import CoverageCheck, CoverageResult, check_label_coverage
 from .statements import StatementChecker, StatementEntailment

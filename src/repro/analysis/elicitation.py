@@ -15,8 +15,9 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..containment.solver import ContainmentConfig, ContainmentSolver
+from ..containment.solver import ContainmentConfig
 from ..dl.concepts import ConceptInclusion
+from ..engine import ContainmentEngine, default_engine
 from ..dl.schema_tbox import schema_from_l0
 from ..exceptions import ElicitationError
 from ..graph.labels import signed_closure
@@ -50,15 +51,19 @@ def elicit_schema(
     name: Optional[str] = None,
     config: Optional[ContainmentConfig] = None,
     pre_trimmed: bool = False,
+    engine: Optional[ContainmentEngine] = None,
 ) -> ElicitationResult:
     """Construct the containment-minimal target schema of a transformation.
 
     Raises :class:`ElicitationError` when some output node may lack a label
     (in that case no schema captures the outputs, as every conforming graph
-    labels every node).
+    labels every node).  Elicitation sweeps ``|Γ_T|² · |Σ±_T|`` candidate
+    statements, each a containment test — the densest batch workload in the
+    repo — so the tests run through *engine* (the process-wide default when
+    not given).
     """
     started = time.perf_counter()
-    solver = ContainmentSolver(source_schema, config)
+    solver = (engine or default_engine()).solver(source_schema, config)
     trimmed = transformation if pre_trimmed else trim(transformation, source_schema, solver)
 
     coverage = check_label_coverage(trimmed, source_schema, solver)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..containment.solver import ContainmentConfig, ContainmentResult, ContainmentSolver
+from ..engine import ContainmentEngine, default_engine
 from ..graph.labels import forward
 from ..rpq.queries import UC2RPQ
 from ..schema.schema import Schema
@@ -82,10 +83,16 @@ def check_equivalence(
     schema: Schema,
     config: Optional[ContainmentConfig] = None,
     pre_trimmed: bool = False,
+    engine: Optional[ContainmentEngine] = None,
 ) -> EquivalenceResult:
-    """Decide whether two transformations agree on every graph in ``L(S)``."""
+    """Decide whether two transformations agree on every graph in ``L(S)``.
+
+    All containment tests run through *engine* (the process-wide default
+    when not given), sharing the per-schema caches across the per-label and
+    per-edge query comparisons.
+    """
     started = time.perf_counter()
-    solver = ContainmentSolver(schema, config)
+    solver = (engine or default_engine()).solver(schema, config)
     left_trimmed = left if pre_trimmed else trim(left, schema, solver)
     right_trimmed = right if pre_trimmed else trim(right, schema, solver)
 

@@ -17,8 +17,9 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..containment.solver import ContainmentConfig, ContainmentSolver
+from ..containment.solver import ContainmentConfig
 from ..dl.schema_tbox import schema_to_l0
+from ..engine import ContainmentEngine, default_engine
 from ..schema.schema import Schema
 from ..transform.grouping import trim
 from ..transform.transformation import Transformation
@@ -68,11 +69,18 @@ def type_check(
     target_schema: Schema,
     config: Optional[ContainmentConfig] = None,
     pre_trimmed: bool = False,
+    engine: Optional[ContainmentEngine] = None,
 ) -> TypeCheckResult:
     """Decide whether ``T(G)`` conforms to *target_schema* for every
-    ``G ∈ L(source_schema)`` (Theorem 4.2)."""
+    ``G ∈ L(source_schema)`` (Theorem 4.2).
+
+    The many containment tests of the Turing reduction are routed through
+    *engine* (the process-wide :func:`repro.engine.default_engine` when not
+    given), so the schema encoding, completions and NFAs are built once per
+    schema rather than once per test.
+    """
     started = time.perf_counter()
-    solver = ContainmentSolver(source_schema, config)
+    solver = (engine or default_engine()).solver(source_schema, config)
     result = TypeCheckResult(
         well_typed=True,
         transformation_name=transformation.name,

@@ -1,4 +1,30 @@
-"""Containment of UC2RPQs in acyclic UC2RPQs modulo schema (Section 5)."""
+"""Containment of UC2RPQs in acyclic UC2RPQs modulo schema (Section 5).
+
+Re-exports, one per pipeline stage (see docs/ARCHITECTURE.md):
+
+* :func:`contains` — the stateless entry point ``P ⊆_S Q`` (routed through
+  the shared :mod:`repro.engine` caches);
+* :class:`ContainmentSolver` / :class:`ContainmentConfig` /
+  :class:`ContainmentResult` — the cache-free decision procedure, its
+  resource bounds and its outcome record;
+* :func:`booleanize` / :class:`Booleanization` — stage 1, the Lemma D.1
+  reduction of free variables to marker labels;
+* :func:`encode_query` / :func:`encode_uc2rpq` / :func:`interleave_regex` —
+  stage 2, the Theorem 5.6 interleaving rewrite;
+* :func:`filter_query` / :func:`filter_uc2rpq` / :func:`filter_foreign_labels`
+  — the alphabet-restriction half of stage 2 used by the solver;
+* :func:`roll_up` / :class:`RollingUp` — stage 3, the Lemma C.2 translation
+  of the acyclic right query into the Horn TBox ``T_¬Q``;
+* :func:`complete` / :class:`CompletionConfig` / :class:`CompletionResult` /
+  :func:`schema_has_finmod_cycle` / :func:`simplify_s_driven` — stage 4,
+  cycle reversal and the S-driven simplification (Theorem 5.4, Lemma D.5);
+* :func:`entails_exists` / :func:`entails_at_most` /
+  :func:`label_set_satisfiable` / :func:`triple_satisfiable` — the
+  Corollary E.7 entailment reductions the completion builds on;
+* :func:`find_counterexample` / :class:`Counterexample` /
+  :func:`enumerate_conforming_graphs` — finite counterexample search for
+  non-containment diagnostics.
+"""
 
 from .booleanize import Booleanization, booleanize
 from .schema_encoding import (

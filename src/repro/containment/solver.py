@@ -15,7 +15,15 @@ schema label" requirement — the only non-Horn part of conformance — is
 enforced on witness patterns directly: every pattern node without a schema
 label is assigned one, branching over the locally compatible choices (this is
 equivalent to the paper's interleaving rewrite but keeps the enumerated words
-short; see DESIGN.md §2).
+short; see docs/ARCHITECTURE.md, stage 5 "Chase").
+
+The expensive stages of the pipeline are factored into overridable hook
+methods (:meth:`ContainmentSolver._schema_tbox`,
+:meth:`ContainmentSolver._prepared_choices`,
+:meth:`ContainmentSolver._build_nfa`) so that :class:`repro.engine.ContainmentEngine`
+can substitute cached artefacts without duplicating the decision procedure;
+the module-level :func:`contains` wrapper routes through the shared default
+engine and therefore benefits from those caches automatically.
 """
 
 from __future__ import annotations
@@ -117,35 +125,22 @@ class ContainmentSolver:
                 elapsed_seconds=time.perf_counter() - started,
             )
 
-        reduction = booleanize(self.schema, left, right)
+        reduction = self._booleanize(left, right)
         extended_schema = reduction.schema
-        schema_tbox = schema_to_extended_tbox(extended_schema)
         filtered_left = filter_uc2rpq(reduction.left, extended_schema)
 
         # one Horn TBox per choice of the component to refute in each disjunct
         # of Q (exactly one choice when all disjuncts are connected); P ⊆_S Q
         # holds iff the left query is unsatisfiable modulo every choice.
-        choices = roll_up_choices(reduction.right, prefix=f"{right.name}")
         satisfiable = False
         regime = "exact"
         witness: Optional[Graph] = None
         patterns = 0
         completion: Optional[CompletionResult] = None
         tbox_size = 0
-        for rolled in choices:
-            combined = schema_tbox.union(
-                rolled.tbox, name=f"T̂_{extended_schema.name}∪T_¬{right.name}"
-            )
-            if self.config.apply_completion:
-                choice_completion = complete(
-                    combined, extended_schema, config=self.config.completion
-                )
-            else:
-                # ablation mode: decide containment over *unrestricted* models only
-                choice_completion = CompletionResult(combined, skipped=True)
+        for choice_completion, engine in self._prepared_choices(reduction, right.name):
             completion = completion or choice_completion
             tbox_size = max(tbox_size, choice_completion.tbox.size())
-            engine = ChaseEngine(choice_completion.tbox)
             choice_sat, choice_regime, choice_witness, choice_patterns = self._left_satisfiable(
                 filtered_left, extended_schema, engine
             )
@@ -194,6 +189,52 @@ class ContainmentSolver:
         return self.contains(query, empty)
 
     # ------------------------------------------------------------------ #
+    # pipeline stages — overridable hooks for the caching engine
+    # ------------------------------------------------------------------ #
+    def _booleanize(self, left: UC2RPQ, right: UC2RPQ):
+        """Stage 1 — the Lemma D.1 reduction to Boolean queries."""
+        return booleanize(self.schema, left, right)
+
+    def _schema_tbox(self, extended_schema: Schema) -> TBox:
+        """Stage 2 — the Horn TBox ``T̂_S`` of the (extended) schema.
+
+        :class:`repro.engine.ContainmentEngine` overrides this to reuse one
+        encoding per schema fingerprint.
+        """
+        return schema_to_extended_tbox(extended_schema)
+
+    def _prepared_choices(
+        self, reduction, right_name: str
+    ) -> List[Tuple[CompletionResult, ChaseEngine]]:
+        """Stages 3–4 — roll up the right query and complete each choice.
+
+        Returns one ``(completion, chase engine)`` pair per choice of the
+        component to refute.  This is the dominant cost of a containment call
+        (the completion runs exponentially many entailment checks in the worst
+        case), which is why the engine caches the whole list per
+        ``(schema, right query, config)`` fingerprint.
+        """
+        schema_tbox = self._schema_tbox(reduction.schema)
+        prepared: List[Tuple[CompletionResult, ChaseEngine]] = []
+        for rolled in roll_up_choices(reduction.right, prefix=right_name):
+            combined = schema_tbox.union(
+                rolled.tbox, name=f"T̂_{reduction.schema.name}∪T_¬{right_name}"
+            )
+            if self.config.apply_completion:
+                choice_completion = complete(
+                    combined, reduction.schema, config=self.config.completion
+                )
+            else:
+                # ablation mode: decide containment over *unrestricted* models only
+                choice_completion = CompletionResult(combined, skipped=True)
+            prepared.append((choice_completion, ChaseEngine(choice_completion.tbox)))
+        return prepared
+
+    def _build_nfa(self, regex):
+        """Stage 5 prerequisite — compile one atom regex to an NFA (cacheable)."""
+        return build_nfa(regex)
+
+    # ------------------------------------------------------------------ #
     # satisfiability of the reduced left-hand side
     # ------------------------------------------------------------------ #
     def _left_satisfiable(
@@ -206,7 +247,7 @@ class ContainmentSolver:
             word_lists: List[List[Tuple[Symbol, ...]]] = []
             empty_atom = False
             for atom in disjunct.atoms:
-                nfa = build_nfa(atom.regex)
+                nfa = self._build_nfa(atom.regex)
                 words = list(
                     nfa.enumerate_words(
                         max_length=config.max_word_length,
@@ -337,5 +378,13 @@ def contains(
     schema: Schema,
     config: Optional[ContainmentConfig] = None,
 ) -> ContainmentResult:
-    """Module-level convenience wrapper: decide ``left ⊆_schema right``."""
-    return ContainmentSolver(schema, config).contains(left, right)
+    """Module-level convenience wrapper: decide ``left ⊆_schema right``.
+
+    Routes through the process-wide :func:`repro.engine.default_engine`, so
+    repeated stateless calls against the same schema reuse its cached TBox
+    encoding, completions and compiled NFAs.  Construct a
+    :class:`ContainmentSolver` directly to bypass every cache.
+    """
+    from ..engine import default_engine  # local import: engine depends on this module
+
+    return default_engine().contains(left, right, schema, config=config)

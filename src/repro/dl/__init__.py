@@ -1,5 +1,24 @@
 """Description-logic layer: ALCIF concept inclusions, Horn TBoxes, the
-schema ↔ L0 correspondence and finite model checking."""
+schema ↔ L0 correspondence and finite model checking.
+
+Re-exports:
+
+* the normal-form statement kinds :class:`SubclassOf`,
+  :class:`SubclassOfBottom`, :class:`ForAllCI`, :class:`ExistsCI`,
+  :class:`NoExistsCI`, :class:`AtMostOneCI`, :class:`DisjunctionCI` with
+  their base :class:`ConceptInclusion`, the conjunction helpers
+  :func:`conj` / :func:`format_conjunction`, the alias :data:`ConceptNames`
+  and the constant :data:`TOP`;
+* :class:`TBox` — a statement set grouped by kind, with canonical
+  fingerprints for the engine caches; :func:`is_l0_statement` /
+  :func:`is_coherent_l0` — the L0 fragment of Appendix B;
+* :func:`schema_to_l0` / :func:`schema_from_l0` /
+  :func:`schema_to_extended_tbox` / :func:`label_coverage_statement` /
+  :func:`disjointness_statements` — the schema ↔ TBox translations
+  (Theorem 5.6 / Proposition B.4);
+* :func:`holds_in` / :func:`violated` / :func:`conformance_tbox` /
+  :func:`conforms_via_tbox` — finite model checking of statements.
+"""
 
 from .concepts import (
     AtMostOneCI,

@@ -15,6 +15,7 @@ both sides; it is in one-to-one correspondence with schemas (see
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import TBoxError
@@ -33,7 +34,32 @@ from .concepts import (
     format_conjunction,
 )
 
-__all__ = ["TBox", "is_l0_statement", "is_coherent_l0"]
+__all__ = ["TBox", "canonical_statement_token", "is_l0_statement", "is_coherent_l0"]
+
+
+def canonical_statement_token(statement: ConceptInclusion) -> str:
+    """A deterministic serialisation of one concept inclusion.
+
+    Unlike ``repr`` (whose frozenset ordering depends on the per-process hash
+    seed) the token sorts every conjunction, so it is stable across processes
+    and suitable as cache-key material for the :mod:`repro.engine` caches.
+    """
+    parts = [type(statement).__name__]
+    parts.append(",".join(f"{len(n)}:{n}" for n in sorted(statement.body)))  # type: ignore[attr-defined]
+    role = getattr(statement, "role", None)
+    if role is not None:
+        text = str(role)
+        parts.append(f"{len(text)}:{text}")
+    head = getattr(statement, "head", None)
+    if head is not None:
+        if isinstance(head, frozenset):
+            parts.append(",".join(f"{len(n)}:{n}" for n in sorted(head)))
+        else:
+            parts.append(f"{len(head)}:{head}")
+    alternatives = getattr(statement, "alternatives", None)
+    if alternatives is not None:
+        parts.append(",".join(f"{len(n)}:{n}" for n in sorted(alternatives)))
+    return "|".join(parts)
 
 
 _HORN_KINDS = (
@@ -165,6 +191,14 @@ class TBox:
     def size(self) -> int:
         """Total number of statements ``|T|``."""
         return len(self._statements)
+
+    def canonical_token(self) -> str:
+        """Order- and name-insensitive serialisation (the *set* of statements)."""
+        return "tbox[" + ";".join(sorted(canonical_statement_token(s) for s in self._statements)) + "]"
+
+    def canonical_fingerprint(self) -> str:
+        """SHA-256 digest of :meth:`canonical_token` (cache-key material)."""
+        return hashlib.sha256(self.canonical_token().encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
     # semantics over finite graphs

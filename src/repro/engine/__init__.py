@@ -1,0 +1,35 @@
+"""Cached containment engine: batch containment with per-schema caches.
+
+The subsystem behind every hot static-analysis path (see
+docs/ARCHITECTURE.md, "The cached containment engine"):
+
+* :class:`ContainmentEngine` — owns the fingerprint-keyed caches (verdicts,
+  completions + chase engines, schema TBox encodings, compiled NFAs) and the
+  ``check_many`` batch API;
+* :class:`ContainmentRequest` — one ``(left, right, schema, config)`` unit of
+  work for a batch;
+* :class:`EngineStats` / :class:`CacheStats` — hit/miss/eviction accounting;
+* :class:`LRUCache` — the bounded cache primitive;
+* :func:`default_engine` — the process-wide engine used by the stateless
+  ``repro.containment.contains`` wrapper and the analysis entry points;
+* :func:`reset_default_engine` — drop the shared engine (test isolation).
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import (
+    ContainmentEngine,
+    ContainmentRequest,
+    EngineStats,
+    default_engine,
+    reset_default_engine,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "ContainmentEngine",
+    "ContainmentRequest",
+    "EngineStats",
+    "default_engine",
+    "reset_default_engine",
+]

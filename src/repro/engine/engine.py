@@ -1,0 +1,403 @@
+"""The cached containment engine and its batch API.
+
+Every static-analysis entry point of the paper — type checking, equivalence
+and schema elicitation — reduces to *many* containment tests modulo the same
+schema (Theorem 4.2's polynomial Turing reduction).  A bare
+:class:`~repro.containment.solver.ContainmentSolver` rebuilds the schema
+encoding ``T̂_S``, the rolled-up ``T_¬Q``, the cycle-reversal completion and
+the atom NFAs from scratch on every call; the :class:`ContainmentEngine`
+owns those artefacts in per-schema caches keyed by canonical fingerprints
+(:meth:`Schema.canonical_fingerprint`, :meth:`UC2RPQ.canonical_token`, the
+regex tokens) and substitutes them through the solver's pipeline hooks, so
+repeated calls against a warm schema skip straight to the chase.
+(:meth:`TBox.canonical_fingerprint` is the corresponding verification tool:
+cached and fresh runs must produce bit-identical completed TBoxes, which the
+engine tests and benchmarks assert by fingerprint.)
+
+Four caches, from coarse to fine (see docs/ARCHITECTURE.md for the exact key
+composition and invalidation rules):
+
+* **results** — full :class:`ContainmentResult` verdicts per
+  ``(schema, left, right, config)``;
+* **completions** — the completed ``T̂_S ∪ T_¬Q`` choice lists *plus* their
+  chase engines (whose tree-extendability memos stay warm) per
+  ``(extended schema, right query, completion config)``;
+* **schema-tboxes** — the Horn encoding ``T̂_S`` per extended schema;
+* **nfas** — compiled atom automata per regular expression.
+
+Because all keys are content fingerprints, mutating a schema or query after a
+call can never make the caches return stale answers — a mutated object simply
+fingerprints to a new key.  :meth:`ContainmentEngine.check_many` evaluates
+batches (optionally on a :class:`~concurrent.futures.ThreadPoolExecutor`) and
+:data:`default_engine` provides the process-wide instance behind the
+stateless :func:`repro.containment.contains` wrapper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..containment.counterexample import Counterexample
+from ..containment.solver import (
+    ContainmentConfig,
+    ContainmentResult,
+    ContainmentSolver,
+    _as_union,
+)
+from ..rpq.queries import UC2RPQ
+from ..schema.schema import Schema
+from .cache import CacheStats, LRUCache
+
+__all__ = [
+    "ContainmentEngine",
+    "ContainmentRequest",
+    "EngineStats",
+    "default_engine",
+    "reset_default_engine",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentRequest:
+    """One unit of work for :meth:`ContainmentEngine.check_many`.
+
+    ``schema`` and ``config`` may be left ``None`` when the batch call
+    supplies defaults for the whole batch.
+    """
+
+    left: Any
+    right: Any
+    schema: Optional[Schema] = None
+    config: Optional[ContainmentConfig] = None
+
+
+@dataclass
+class EngineStats:
+    """A snapshot of the engine's cache counters and call totals."""
+
+    results: CacheStats
+    completions: CacheStats
+    schema_tboxes: CacheStats
+    nfas: CacheStats
+    contains_calls: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for logging and benchmark reports."""
+        return {
+            "contains_calls": self.contains_calls,
+            "batches": self.batches,
+            "caches": {
+                stats.name: stats.as_dict()
+                for stats in (self.results, self.completions, self.schema_tboxes, self.nfas)
+            },
+        }
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        lines = [f"engine: {self.contains_calls} containment calls, {self.batches} batches"]
+        lines.extend(
+            f"  {stats}"
+            for stats in (self.results, self.completions, self.schema_tboxes, self.nfas)
+        )
+        return "\n".join(lines)
+
+
+def _digest(*parts: str) -> str:
+    payload = "\x1f".join(parts).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class _CachingSolver(ContainmentSolver):
+    """A drop-in :class:`ContainmentSolver` whose pipeline stages consult the
+    engine's caches.
+
+    It inherits the full decision procedure unchanged and only overrides the
+    hook methods, so cached and uncached runs execute the same algorithm on
+    the same intermediate artefacts — verdicts are identical by construction.
+    """
+
+    def __init__(
+        self, engine: "ContainmentEngine", schema: Schema, config: Optional[ContainmentConfig]
+    ) -> None:
+        super().__init__(schema, config or engine.default_config)
+        self.engine = engine
+
+    # -- cached full results ------------------------------------------------
+    def contains(self, left, right) -> ContainmentResult:
+        started = time.perf_counter()
+        left = _as_union(left, "P")
+        right = _as_union(right, "Q")
+        key = (
+            self.schema.canonical_fingerprint(),
+            _digest(left.canonical_token(), left.name, right.canonical_token(), right.name),
+            self.config,
+        )
+        engine = self.engine
+        with engine._lock:
+            engine._contains_calls += 1
+            cached = engine._results.get(key)
+        if cached is not None:
+            return self._replay(cached, time.perf_counter() - started)
+        result = super().contains(left, right)
+        with engine._lock:
+            engine._results.put(key, result)
+        return result
+
+    def _replay(self, cached: ContainmentResult, elapsed: float) -> ContainmentResult:
+        """Re-issue a cached verdict as an independent result.
+
+        The witness graphs are copied so a caller mutating its counterexample
+        (e.g. relabelling nodes for display) cannot corrupt later hits; the
+        ``completion`` bookkeeping object stays shared and must be treated as
+        read-only.  ``schema_name`` is refreshed because the cache key is
+        name-insensitive for schemas (renamed-but-equal schemas hit the same
+        entry) while query names are part of the key already.
+        """
+        witness = cached.witness_pattern.copy() if cached.witness_pattern is not None else None
+        counterexample = cached.finite_counterexample
+        if counterexample is not None:
+            counterexample = Counterexample(counterexample.graph.copy(), counterexample.answer)
+        return dataclasses.replace(
+            cached,
+            schema_name=self.schema.name,
+            witness_pattern=witness,
+            finite_counterexample=counterexample,
+            elapsed_seconds=elapsed,
+        )
+
+    # -- cached pipeline stages ---------------------------------------------
+    def _schema_tbox(self, extended_schema: Schema):
+        engine = self.engine
+        key = extended_schema.canonical_fingerprint()
+        with engine._lock:
+            cached = engine._schema_tboxes.get(key)
+        if cached is None:
+            cached = super()._schema_tbox(extended_schema)
+            with engine._lock:
+                engine._schema_tboxes.put(key, cached)
+        return cached
+
+    def _prepared_choices(self, reduction, right_name: str):
+        engine = self.engine
+        key = (
+            reduction.schema.canonical_fingerprint(),
+            _digest(reduction.right.canonical_token(), right_name),
+            self.config.completion,
+            self.config.apply_completion,
+        )
+        with engine._lock:
+            cached = engine._completions.get(key)
+        if cached is None:
+            cached = super()._prepared_choices(reduction, right_name)
+            with engine._lock:
+                engine._completions.put(key, cached)
+        return cached
+
+    def _build_nfa(self, regex):
+        engine = self.engine
+        with engine._lock:
+            cached = engine._nfas.get(regex)
+        if cached is None:
+            cached = super()._build_nfa(regex)
+            with engine._lock:
+                engine._nfas.put(regex, cached)
+        return cached
+
+
+class ContainmentEngine:
+    """Decides UC2RPQ containment modulo schemas with per-schema caching.
+
+    The engine is schema-agnostic: pass the schema per call (or bind one with
+    :meth:`solver`), and artefacts are cached under content fingerprints, so
+    one engine can serve any number of schemas concurrently.  All cache
+    access is serialised by an internal lock; :meth:`check_many` may fan a
+    batch out over threads.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ContainmentConfig] = None,
+        *,
+        result_cache_size: int = 4096,
+        completion_cache_size: int = 512,
+        schema_tbox_cache_size: int = 128,
+        nfa_cache_size: int = 4096,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.default_config = config or ContainmentConfig()
+        self.max_workers = max_workers
+        self._lock = threading.RLock()
+        self._results = LRUCache("results", result_cache_size)
+        self._completions = LRUCache("completions", completion_cache_size)
+        self._schema_tboxes = LRUCache("schema-tboxes", schema_tbox_cache_size)
+        self._nfas = LRUCache("nfas", nfa_cache_size)
+        self._contains_calls = 0
+        self._batches = 0
+
+    # ------------------------------------------------------------------ #
+    # solver facade
+    # ------------------------------------------------------------------ #
+    def solver(
+        self, schema: Schema, config: Optional[ContainmentConfig] = None
+    ) -> ContainmentSolver:
+        """A schema-bound solver that shares this engine's caches.
+
+        The returned object is a :class:`ContainmentSolver` subclass, so it
+        drops into every API that accepts a solver (``trim``,
+        ``check_label_coverage``, ``StatementChecker``, …).
+        """
+        return _CachingSolver(self, schema, config)
+
+    def contains(
+        self,
+        left,
+        right,
+        schema: Schema,
+        config: Optional[ContainmentConfig] = None,
+    ) -> ContainmentResult:
+        """Decide ``left ⊆_schema right`` through the caches."""
+        return self.solver(schema, config).contains(left, right)
+
+    def satisfiable(
+        self, query, schema: Schema, config: Optional[ContainmentConfig] = None
+    ) -> ContainmentResult:
+        """Satisfiability of *query* modulo *schema* (``q ⊄_S ∅``)."""
+        return self.solver(schema, config).satisfiable(query)
+
+    def equivalent(
+        self, left, right, schema: Schema, config: Optional[ContainmentConfig] = None
+    ) -> bool:
+        """``True`` when both containments hold (both sides acyclic)."""
+        return self.solver(schema, config).equivalent(left, right)
+
+    # ------------------------------------------------------------------ #
+    # batch API
+    # ------------------------------------------------------------------ #
+    def check_many(
+        self,
+        requests: Iterable[Union[ContainmentRequest, Sequence]],
+        schema: Optional[Schema] = None,
+        config: Optional[ContainmentConfig] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> List[ContainmentResult]:
+        """Decide a batch of containment tests; results keep request order.
+
+        Each request is a :class:`ContainmentRequest` or a ``(left, right)`` /
+        ``(left, right, schema)`` / ``(left, right, schema, config)`` tuple;
+        ``schema`` and ``config`` arguments fill in whatever a request leaves
+        unset.  With ``parallel=True`` the batch fans out over a
+        :class:`~concurrent.futures.ThreadPoolExecutor` — under CPython's GIL
+        this overlaps at most the allocator- and cache-bound parts, so the
+        reliable way to make a batch fast is a warm cache, not threads; the
+        flag exists for mixed workloads and future free-threaded builds.
+        """
+        normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]] = []
+        for request in requests:
+            if isinstance(request, ContainmentRequest):
+                left, right = request.left, request.right
+                request_schema, request_config = request.schema, request.config
+            else:
+                parts = tuple(request)
+                if not 2 <= len(parts) <= 4:
+                    raise TypeError(
+                        "check_many expects (left, right[, schema[, config]]) "
+                        f"tuples or ContainmentRequest, got {request!r}"
+                    )
+                left, right = parts[0], parts[1]
+                request_schema = parts[2] if len(parts) >= 3 else None
+                request_config = parts[3] if len(parts) == 4 else None
+            resolved_schema = request_schema or schema
+            if resolved_schema is None:
+                raise TypeError("check_many: no schema given for a request and no batch default")
+            normalized.append((left, right, resolved_schema, request_config or config))
+
+        with self._lock:
+            self._batches += 1
+
+        def run(task: Tuple[Any, Any, Schema, Optional[ContainmentConfig]]) -> ContainmentResult:
+            left, right, task_schema, task_config = task
+            return self.contains(left, right, task_schema, task_config)
+
+        if parallel and len(normalized) > 1:
+            workers = max_workers or self.max_workers or min(32, (os.cpu_count() or 2))
+            workers = min(workers, len(normalized))
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                return list(executor.map(run, normalized))
+        return [run(task) for task in normalized]
+
+    # ------------------------------------------------------------------ #
+    # statistics and cache management
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> EngineStats:
+        """An independent snapshot of all counters (safe to keep around)."""
+        with self._lock:
+            return EngineStats(
+                results=self._results.stats.snapshot(),
+                completions=self._completions.stats.snapshot(),
+                schema_tboxes=self._schema_tboxes.stats.snapshot(),
+                nfas=self._nfas.stats.snapshot(),
+                contains_calls=self._contains_calls,
+                batches=self._batches,
+            )
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """Current entry counts per cache."""
+        with self._lock:
+            return {
+                "results": len(self._results),
+                "completions": len(self._completions),
+                "schema-tboxes": len(self._schema_tboxes),
+                "nfas": len(self._nfas),
+            }
+
+    def clear(self) -> None:
+        """Drop every cached artefact (statistics counters are kept)."""
+        with self._lock:
+            for cache in (self._results, self._completions, self._schema_tboxes, self._nfas):
+                cache.clear()
+
+    def invalidate_schema(self, schema: Schema) -> int:
+        """Reclaim the result entries recorded under *schema*'s fingerprint.
+
+        Content-keyed caches can never serve stale answers (a mutated schema
+        fingerprints to a new key), so this is purely a memory-management
+        call; derived artefacts (encodings, completions) age out via LRU.
+        Returns the number of dropped result entries.
+        """
+        fingerprint = schema.canonical_fingerprint()
+        with self._lock:
+            return self._results.prune(lambda key: key[0] == fingerprint)
+
+
+# --------------------------------------------------------------------------- #
+# the process-wide default engine
+# --------------------------------------------------------------------------- #
+_default_engine: Optional[ContainmentEngine] = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> ContainmentEngine:
+    """The shared engine behind the stateless :func:`repro.containment.contains`
+    wrapper and the analysis entry points; created on first use."""
+    global _default_engine
+    with _default_engine_lock:
+        if _default_engine is None:
+            _default_engine = ContainmentEngine()
+        return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Discard the shared engine (tests use this to isolate statistics)."""
+    global _default_engine
+    with _default_engine_lock:
+        _default_engine = None

@@ -1,4 +1,20 @@
-"""Labeled directed graphs — the data model of the paper (Section 3)."""
+"""Labeled directed graphs — the data model of the paper (Section 3).
+
+Re-exports:
+
+* :class:`Graph` / :data:`NodeId` / :class:`GraphBuilder` — the multigraph
+  with node-label sets and its fluent builder;
+* :class:`SignedLabel` / :class:`Direction` with :func:`forward` /
+  :func:`inverse` / :func:`signed_closure` — edge labels read forwards or
+  backwards (the alphabet Σ±);
+* :func:`find_homomorphism` / :func:`is_homomorphism` / :func:`isomorphic` —
+  structure-preserving maps between graphs;
+* :func:`skeleton` / :class:`Skeleton` / :func:`is_c_sparse` /
+  :func:`sparsity_constant` — the sparsity notions of Theorem 6.3;
+* :func:`load_json` / :func:`dump_json` / :func:`graph_from_dict` /
+  :func:`graph_to_dict` / :func:`to_dot` — (de)serialisation and Graphviz
+  export.
+"""
 
 from .graph import Graph, NodeId
 from .labels import Direction, SignedLabel, forward, inverse, signed_closure

@@ -1,5 +1,20 @@
 """The EXPTIME lower bound machinery of Appendix F: alternating Turing
-machines and the reduction to 2RPQ containment modulo schema."""
+machines and the reduction to 2RPQ containment modulo schema.
+
+Re-exports:
+
+* :class:`ATM` with :func:`alternating_and_or_machine` /
+  :func:`even_ones_machine` and the tape symbols :data:`BLANK`,
+  :data:`LEFT_MARKER`, :data:`RIGHT_MARKER` — polynomially space-bounded
+  alternating Turing machines and two worked instances;
+* :func:`build_instance` / :class:`HardnessInstance` — the Appendix F
+  reduction from ATM acceptance to containment modulo schema;
+* :func:`tree_device_schema` / :func:`tree_device_queries` / :func:`nest` —
+  the tree device and regex-nesting gadgets the reduction is built from;
+* :func:`containment_to_typechecking` / :func:`containment_to_equivalence` —
+  the onward reductions that transfer the lower bound to the analysis
+  problems (Theorem 4.3).
+"""
 
 from .atm import ATM, BLANK, LEFT_MARKER, RIGHT_MARKER, alternating_and_or_machine, even_ones_machine
 from .reduction import (

@@ -1,4 +1,24 @@
-"""Two-way regular path queries: expressions, automata, C2RPQs, evaluation."""
+"""Two-way regular path queries: expressions, automata, C2RPQs, evaluation.
+
+Re-exports:
+
+* :class:`Regex` and its constructors :func:`node`, :func:`edge`,
+  :func:`concat`, :func:`union`, :func:`star`, :func:`plus`,
+  :func:`optional`, :func:`word` plus the node types :class:`EmptyLanguage`,
+  :class:`Epsilon`, :class:`NodeTest`, :class:`EdgeStep`, :class:`Concat`,
+  :class:`Union`, :class:`Star` and the constants :data:`EMPTY`,
+  :data:`EPSILON` — the two-way regular expression AST of Section 3;
+* :class:`NFA` / :func:`build_nfa` — linear-size automata with pumped-word
+  enumeration (Lemma C.2's prerequisite);
+* :class:`Atom` / :class:`C2RPQ` / :class:`UC2RPQ` / :data:`Variable` with
+  :func:`label_atom` and :func:`equality_atom` — conjunctive queries, their
+  unions and the two convenience atom forms;
+* :func:`eval_regex` / :func:`eval_regex_from` / :func:`eval_atom` /
+  :func:`eval_c2rpq` / :func:`eval_uc2rpq` / :func:`satisfies` /
+  :func:`witnessing_path` — evaluation over labeled graphs;
+* :func:`parse_regex` / :func:`parse_c2rpq` / :func:`parse_uc2rpq` — the
+  textual syntax used throughout examples and tests.
+"""
 
 from .regex import (
     EMPTY,

@@ -123,8 +123,8 @@ class NFA:
         Words are produced in order of non-decreasing length.  A run may visit
         each automaton state at most *max_state_repeats* times, which bounds
         the unrolling of cycles (the satisfiability engine's completeness
-        bound, see DESIGN.md §2); *max_length* and *max_words* are additional
-        hard caps.
+        bound, see docs/ARCHITECTURE.md, stage 5 "Chase"); *max_length* and
+        *max_words* are additional hard caps.
         """
         emitted = 0
         seen_words: Set[Tuple[Symbol, ...]] = set()

@@ -16,6 +16,7 @@ The module implements the paper's notions around queries:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -27,6 +28,7 @@ from .regex import (
     Epsilon,
     NodeTest,
     Regex,
+    canonical_token,
     node,
 )
 
@@ -78,6 +80,13 @@ class Atom:
             self.regex,
             mapping.get(self.source, self.source),
             mapping.get(self.target, self.target),
+        )
+
+    def canonical_token(self) -> str:
+        """An injective serialisation of the atom (regex structure + variables)."""
+        return (
+            f"({canonical_token(self.regex)} "
+            f"{len(self.source)}:{self.source} {len(self.target)}:{self.target})"
         )
 
     def __str__(self) -> str:
@@ -265,6 +274,20 @@ class C2RPQ:
         return C2RPQ(self.atoms, free_variables, name=self.name)
 
     # ------------------------------------------------------------------ #
+    def canonical_token(self) -> str:
+        """A serialisation capturing exactly the equality semantics of the
+        query: the *set* of atoms plus the ordered free-variable tuple.  The
+        query name is deliberately excluded, so renamed-but-identical queries
+        share a fingerprint."""
+        atoms = ",".join(sorted(atom.canonical_token() for atom in self.atoms))
+        free = ",".join(f"{len(v)}:{v}" for v in self.free_variables)
+        return f"c2rpq[{atoms}][{free}]"
+
+    def canonical_fingerprint(self) -> str:
+        """SHA-256 digest of :meth:`canonical_token` (cache-key material)."""
+        return hashlib.sha256(self.canonical_token().encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, C2RPQ):
             return NotImplemented
@@ -340,6 +363,15 @@ class UC2RPQ:
     def map(self, function) -> "UC2RPQ":
         """Apply *function* to every disjunct and collect the results."""
         return UC2RPQ([function(d) for d in self.disjuncts], name=self.name)
+
+    def canonical_token(self) -> str:
+        """Order- and name-insensitive serialisation (the set of disjuncts)."""
+        disjuncts = ";".join(sorted(d.canonical_token() for d in self.disjuncts))
+        return f"uc2rpq[{disjuncts}]"
+
+    def canonical_fingerprint(self) -> str:
+        """SHA-256 digest of :meth:`canonical_token` (cache-key material)."""
+        return hashlib.sha256(self.canonical_token().encode("utf-8")).hexdigest()
 
     def __iter__(self) -> Iterator[C2RPQ]:
         return iter(self.disjuncts)

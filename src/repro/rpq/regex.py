@@ -40,6 +40,7 @@ __all__ = [
     "optional",
     "word",
     "Symbol",
+    "canonical_token",
 ]
 
 # A symbol of the underlying alphabet: either a node-label test or an edge step.
@@ -246,6 +247,32 @@ class Star(Regex):
 
     def __str__(self) -> str:
         return f"{_wrap(self.inner, (Union, Concat))}*"
+
+
+def canonical_token(expr: Regex) -> str:
+    """An injective textual serialisation of the expression's structure.
+
+    Used as the regex component of the canonical fingerprints that key the
+    :mod:`repro.engine` caches (see docs/ARCHITECTURE.md, "Cache keys").
+    Labels are length-prefixed, so the encoding stays injective whatever
+    characters a label contains.
+    """
+    if isinstance(expr, EmptyLanguage):
+        return "0"
+    if isinstance(expr, Epsilon):
+        return "e"
+    if isinstance(expr, NodeTest):
+        return f"n{len(expr.label)}:{expr.label}"
+    if isinstance(expr, EdgeStep):
+        text = str(expr.signed)
+        return f"r{len(text)}:{text}"
+    if isinstance(expr, Concat):
+        return f"(.{canonical_token(expr.left)} {canonical_token(expr.right)})"
+    if isinstance(expr, Union):
+        return f"(+{canonical_token(expr.left)} {canonical_token(expr.right)})"
+    if isinstance(expr, Star):
+        return f"(*{canonical_token(expr.inner)})"
+    raise TypeError(f"unknown regex node: {expr!r}")  # pragma: no cover
 
 
 def _wrap(expr: Regex, kinds) -> str:

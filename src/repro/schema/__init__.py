@@ -1,4 +1,18 @@
-"""Graph schemas with participation constraints (Section 3 of the paper)."""
+"""Graph schemas with participation constraints (Section 3 of the paper).
+
+Re-exports:
+
+* :class:`Schema` / :class:`Multiplicity` — the triple ``(Γ, Σ, δ)`` and the
+  ``? 1 + * 0`` participation symbols;
+* :func:`conforms` / :func:`check_conformance` with
+  :class:`ConformanceReport` / :class:`Violation` — does a graph conform,
+  and if not, why not;
+* :func:`schema_contained_in` / :func:`schema_equivalent` /
+  :func:`schema_containment_counterexamples` /
+  :class:`ContainmentCounterexample` — the schema-level containment order of
+  Proposition B.3;
+* :func:`parse_schema` / :func:`schema_to_text` — the textual schema DSL.
+"""
 
 from .schema import Multiplicity, Schema
 from .conformance import ConformanceReport, Violation, check_conformance, conforms

@@ -14,6 +14,7 @@ labeled ``B`` satisfies ``δ_S(A, R, B)``.
 
 from __future__ import annotations
 
+import hashlib
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
@@ -221,6 +222,30 @@ class Schema:
             if source in node_keep and target in node_keep and signed.label in edge_keep:
                 result.set(source, signed, target, mult)
         return result
+
+    def canonical_token(self) -> str:
+        """An injective serialisation of the schema's *semantics*.
+
+        Explicitly declared ``0`` constraints are omitted (they coincide with
+        the implicit default), constraints are sorted, and the schema name is
+        excluded — so two schemas compare equal exactly when their tokens
+        coincide.  This is the schema component of the :mod:`repro.engine`
+        cache keys.
+        """
+        nodes = ",".join(f"{len(l)}:{l}" for l in sorted(self.node_labels))
+        edges = ",".join(f"{len(l)}:{l}" for l in sorted(self.edge_labels))
+        constraints = ";".join(
+            sorted(
+                f"{len(s)}:{s}|{len(str(signed))}:{signed}|{len(t)}:{t}|{mult}"
+                for (s, signed, t), mult in self._delta.items()
+                if mult is not Multiplicity.ZERO
+            )
+        )
+        return f"schema[{nodes}][{edges}][{constraints}]"
+
+    def canonical_fingerprint(self) -> str:
+        """SHA-256 digest of :meth:`canonical_token` (cache-key material)."""
+        return hashlib.sha256(self.canonical_token().encode("utf-8")).hexdigest()
 
     def copy(self, name: Optional[str] = None) -> "Schema":
         """Return a copy of the schema."""

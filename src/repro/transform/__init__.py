@@ -1,4 +1,21 @@
-"""Graph transformations: node constructors, rules, application, grouping."""
+"""Graph transformations: node constructors, rules, application, grouping.
+
+Re-exports:
+
+* :class:`Transformation` with :class:`NodeRule` / :class:`EdgeRule` — the
+  Datalog-like transformation language of Section 4 and its two rule kinds;
+* :class:`NodeConstructor` / :class:`ConstructedNode` /
+  :class:`ConstructorRegistry` — the Skolem terms ``f_A(x̄)`` naming output
+  nodes;
+* :func:`node_query` / :func:`edge_query` / :func:`canonical_variables` —
+  the grouped queries ``Q_A`` and ``Q_{A,R,B}`` over canonical variables;
+* :func:`conjoin_unions` / :func:`equality_query` /
+  :func:`unsatisfiable_query` — capture-safe query combinators for the
+  Lemma B.7 entailment tests;
+* :func:`trim` — drop rules whose bodies are unsatisfiable modulo the source
+  schema (Appendix B);
+* :func:`parse_transformation` — the textual transformation DSL.
+"""
 
 from .constructors import ConstructedNode, ConstructorRegistry, NodeConstructor
 from .rules import EdgeRule, NodeRule

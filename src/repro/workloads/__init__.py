@@ -1,6 +1,17 @@
 """Ready-made workloads: the paper's medical example, FHIR-style migrations,
 a social-network evolution scenario and synthetic generators for scaling
-benchmarks."""
+benchmarks.
+
+Re-exports (submodules):
+
+* :mod:`repro.workloads.medical` — the running example of Figure 1
+  (vaccines, antigens, pathogens) with source/target schemas and migration;
+* :mod:`repro.workloads.fhir` — a healthcare-interchange-style v3 → v4
+  schema migration;
+* :mod:`repro.workloads.social` — a social-network reification scenario;
+* :mod:`repro.workloads.synthetic` — parametric schema/query/transformation
+  families for scaling benchmarks.
+"""
 
 from . import fhir, medical, social, synthetic
 

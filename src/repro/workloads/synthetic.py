@@ -3,8 +3,8 @@
 The paper's complexity results are stated in terms of the sizes of the
 schema, the queries and the transformation; these generators produce families
 of inputs whose sizes grow along one dimension at a time, so that the
-benchmarks can chart how the implemented procedures scale (experiments E7 and
-E8 in DESIGN.md).
+benchmarks can chart how the implemented procedures scale (the E7/E8
+experiments under ``benchmarks/``; see the benchmark section of README.md).
 """
 
 from __future__ import annotations
