@@ -7,7 +7,6 @@ The qualitative outcomes asserted here are the "expected results" recorded in
 EXPERIMENTS.md; the benchmark numbers chart their cost.
 """
 
-import pytest
 
 from repro.analysis import check_equivalence, elicit_schema, type_check
 from repro.containment import ContainmentSolver

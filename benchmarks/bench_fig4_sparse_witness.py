@@ -8,8 +8,8 @@ Section 6, and checks the (2c,3c)-skeleton bound of Lemma E.1.
 import pytest
 
 from repro.graph import Graph, is_c_sparse, skeleton, sparsity_constant
-from repro.rpq import eval_c2rpq, parse_c2rpq, satisfies
-from repro.schema import Schema, conforms
+from repro.rpq import eval_c2rpq, parse_c2rpq
+from repro.schema import Schema
 
 
 @pytest.fixture(scope="module")

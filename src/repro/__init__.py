@@ -36,8 +36,10 @@ from .analysis import (
     EquivalenceResult,
     TypeCheckResult,
     check_equivalence,
+    check_equivalence_many,
     elicit_schema,
     type_check,
+    type_check_many,
 )
 from .containment import ContainmentResult, contains
 from .engine import ContainmentEngine, ContainmentRequest, default_engine
@@ -66,8 +68,10 @@ __all__ = [
     "EquivalenceResult",
     "TypeCheckResult",
     "check_equivalence",
+    "check_equivalence_many",
     "elicit_schema",
     "type_check",
+    "type_check_many",
     "ContainmentResult",
     "contains",
     "ContainmentEngine",

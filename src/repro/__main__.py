@@ -1,0 +1,10 @@
+"""``python -m repro`` — see :mod:`repro.cli`.
+
+The ``__name__`` guard is required: the process backend starts workers with
+the ``spawn`` method, which re-imports the main module in each worker.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,10 @@ Re-exports:
   :class:`CoverageCheck` — the "every output node is labeled" premise
   (Lemma B.6);
 * :class:`StatementChecker` / :class:`StatementEntailment` — the Lemma B.7
-  entailment tests for individual L0 statements.
+  entailment tests for individual L0 statements;
+* :func:`type_check_many` / :func:`check_equivalence_many` — batch variants
+  running whole job lists across the serial/thread/process backends of the
+  containment engine (:mod:`repro.analysis.batch`).
 
 All entry points accept an ``engine`` argument and otherwise share the
 process-wide :func:`repro.engine.default_engine`, so their many containment
@@ -26,6 +29,7 @@ from .statements import StatementChecker, StatementEntailment
 from .typecheck import TypeCheckResult, type_check
 from .elicitation import ElicitationResult, elicit_schema
 from .equivalence import EquivalenceDifference, EquivalenceResult, check_equivalence
+from .batch import check_equivalence_many, type_check_many
 
 __all__ = [
     "CoverageCheck",
@@ -35,9 +39,11 @@ __all__ = [
     "StatementEntailment",
     "TypeCheckResult",
     "type_check",
+    "type_check_many",
     "ElicitationResult",
     "elicit_schema",
     "EquivalenceDifference",
     "EquivalenceResult",
     "check_equivalence",
+    "check_equivalence_many",
 ]

@@ -1,0 +1,146 @@
+"""Batch entry points for the static analyses (the Theorem 4.2 procedures
+at fleet scale).
+
+A served deployment does not type check one migration at a time — it
+validates whole catalogues of transformations against schema registries.
+:func:`type_check_many` and :func:`check_equivalence_many` run such batches
+across the same three backends as
+:meth:`repro.engine.ContainmentEngine.check_many`:
+
+* ``"serial"`` — one shared engine, jobs in order (the baseline);
+* ``"thread"`` — a thread pool over one shared engine; overlaps only
+  allocator/cache-bound work under the GIL, but every job warms the same
+  caches;
+* ``"process"`` — each *job* ships whole to a
+  :class:`~repro.engine.parallel.WorkerPool` worker (routed by source-schema
+  fingerprint, so a registry of schemas shards cleanly), runs against that
+  worker's warm engine, and the full result object — coverage reports,
+  statement entailments, per-difference containment results — is pickled
+  back.
+
+All backends produce identical analysis outcomes; the process backend is the
+one that scales with cores because each job's many containment calls run in
+a separate interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from ..containment.solver import ContainmentConfig
+from ..engine import ContainmentEngine, default_engine
+from ..engine.parallel import WorkerPool
+from ..schema.schema import Schema
+from .equivalence import EquivalenceResult, check_equivalence
+from .typecheck import TypeCheckResult, type_check
+
+__all__ = ["check_equivalence_many", "type_check_many"]
+
+def _run_jobs(
+    kind: str,
+    payloads: Sequence[Tuple],
+    routing_schemas: Sequence[Schema],
+    serial_runner,
+    parallel: Union[bool, str],
+    engine: Optional[ContainmentEngine],
+    max_workers: Optional[int],
+) -> List[Any]:
+    backend = ContainmentEngine._normalise_backend(parallel)
+    resolved_engine = engine or default_engine()
+    if backend == "process" and payloads:
+        pool: WorkerPool = resolved_engine.process_pool(max_workers)
+        # the tertiary routing token must be deterministic run-to-run (the
+        # plan_routing contract), so it is built from the schema fingerprint
+        # and the job's batch position — never from object reprs, whose
+        # memory addresses would scatter identical work across workers
+        keys = []
+        for position, schema in enumerate(routing_schemas):
+            schema_fp = schema.canonical_fingerprint()
+            keys.append((schema_fp, "", f"{schema_fp}\x1f{position}"))
+        return pool.run_batch(kind, list(payloads), keys)
+    if backend == "thread" and len(payloads) > 1:
+        workers = max_workers or min(32, (os.cpu_count() or 2))
+        workers = min(workers, len(payloads))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(lambda p: serial_runner(resolved_engine, p), payloads))
+    return [serial_runner(resolved_engine, payload) for payload in payloads]
+
+
+def type_check_many(
+    jobs: Sequence[Union[Tuple, Any]],
+    *,
+    config: Optional[ContainmentConfig] = None,
+    parallel: Union[bool, str] = False,
+    engine: Optional[ContainmentEngine] = None,
+    max_workers: Optional[int] = None,
+) -> List[TypeCheckResult]:
+    """Type check a batch of ``(transformation, source, target[, config])``
+    jobs; results keep job order.
+
+    ``parallel`` selects the backend exactly as in ``check_many`` (see the
+    module docstring); ``engine`` defaults to the process-wide engine, whose
+    persistent worker pool serves the ``"process"`` backend.
+    """
+    payloads = []
+    schemas = []
+    for job in jobs:
+        transformation, source, target, job_config = _normalise_job(job, config)
+        payloads.append((transformation, source, target, job_config))
+        schemas.append(source)
+    return _run_jobs(
+        "typecheck",
+        payloads,
+        schemas,
+        lambda eng, p: type_check(p[0], p[1], p[2], config=p[3], engine=eng),
+        parallel,
+        engine,
+        max_workers,
+    )
+
+
+def check_equivalence_many(
+    jobs: Sequence[Union[Tuple, Any]],
+    *,
+    config: Optional[ContainmentConfig] = None,
+    parallel: Union[bool, str] = False,
+    engine: Optional[ContainmentEngine] = None,
+    max_workers: Optional[int] = None,
+) -> List[EquivalenceResult]:
+    """Decide equivalence for a batch of ``(left, right, schema[, config])``
+    jobs; results keep job order.  Backends as in :func:`type_check_many`."""
+    payloads = []
+    schemas = []
+    for job in jobs:
+        left, right, schema, job_config = _normalise_job(job, config)
+        payloads.append((left, right, schema, job_config))
+        schemas.append(schema)
+    return _run_jobs(
+        "equivalence",
+        payloads,
+        schemas,
+        lambda eng, p: check_equivalence(p[0], p[1], p[2], config=p[3], engine=eng),
+        parallel,
+        engine,
+        max_workers,
+    )
+
+
+def _normalise_job(
+    job: Union[Tuple, Any], default_config: Optional[ContainmentConfig]
+) -> Tuple[Any, Any, Any, Optional[ContainmentConfig]]:
+    parts = tuple(job)
+    if len(parts) == 3:
+        first, second, third = parts
+        job_config: Optional[ContainmentConfig] = None
+    elif len(parts) == 4:
+        first, second, third, job_config = parts
+    else:
+        raise TypeError(
+            "expected (transformation, source, target[, config]) or "
+            f"(left, right, schema[, config]) jobs, got {job!r}"
+        )
+    if not isinstance(third, Schema):
+        raise TypeError(f"the third element of a job must be a Schema, got {type(third).__name__}")
+    return first, second, third, job_config or default_config

@@ -12,7 +12,7 @@ satisfies some ``A``-node rule.  Lemma B.6 phrases this as the containments
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..containment.solver import ContainmentResult, ContainmentSolver
 from ..graph.labels import SignedLabel, signed_closure

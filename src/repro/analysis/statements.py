@@ -24,7 +24,6 @@ from ..graph.labels import SignedLabel
 from ..rpq.queries import UC2RPQ
 from ..schema.schema import Schema
 from ..transform.grouping import (
-    canonical_variables,
     conjoin_unions,
     edge_query,
     equality_query,

@@ -29,9 +29,8 @@ within a finite lattice and merges only decrease the number of nodes.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..dl.tbox import TBox
 from ..exceptions import SolverError

@@ -9,7 +9,7 @@ tree-extendability check share.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..dl.concepts import (
     AtMostOneCI,

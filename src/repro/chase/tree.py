@@ -30,7 +30,7 @@ satisfiability via cycle reversing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..dl.concepts import ConceptNames
 from ..graph.labels import SignedLabel

@@ -1,0 +1,361 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands over the library's hot paths:
+
+* ``contain`` — one containment test ``P ⊆_S Q``, schema from a spec file
+  (the :mod:`repro.schema.parser` DSL) or a built-in workload;
+* ``typecheck`` — the Theorem 4.2 analysis for a built-in workload's
+  migration (or a transformation/schema file triple);
+* ``batch`` — a containment batch through
+  :meth:`~repro.engine.ContainmentEngine.check_many` on a chosen backend
+  (``serial``/``thread``/``process``), with JSON timing + cache-stats
+  reports;
+* ``bench`` — the same batch across *all* requested backends, asserting
+  fingerprint-identical verdicts and reporting per-backend speedups.
+
+Every subcommand accepts ``--json`` (``-`` for stdout, otherwise a path) and
+prints a human summary otherwise.  :func:`main` takes an ``argv`` list and
+returns an exit code — it never calls ``sys.exit`` itself, so it is directly
+callable from tests and executable documentation blocks.
+
+Spec files for ``batch``/``bench`` are JSON documents::
+
+    {
+      "schema": "schema S { nodes A; edge A -r-> A [*, *]; }",
+      "pairs": [{"left": "p(x) := (r)(x, y)", "right": "q(x) := A(x)"}]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .engine import ContainmentEngine, result_fingerprint
+from .engine.parallel import default_worker_count
+from .rpq.parser import parse_c2rpq
+from .schema.parser import parse_schema
+from .schema.schema import Schema
+from .workloads.batches import BUILTIN_WORKLOADS, containment_batch, workload_schemas
+
+__all__ = ["main"]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+# --------------------------------------------------------------------------- #
+# input loading
+# --------------------------------------------------------------------------- #
+def _load_spec(path: str) -> Tuple[Schema, List[Tuple[Any, Any]]]:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        schema = parse_schema(document["schema"])
+        pairs = [
+            (parse_c2rpq(entry["left"]), parse_c2rpq(entry["right"]))
+            for entry in document["pairs"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise SystemExit(f"spec file {path}: expected {{'schema': ..., 'pairs': [...]}} ({error})")
+    return schema, pairs
+
+
+def _resolve_batch(args: argparse.Namespace) -> Tuple[str, Schema, List[Tuple[Any, Any]]]:
+    if args.spec:
+        schema, pairs = _load_spec(args.spec)
+        return f"spec:{args.spec}", schema, pairs
+    schema, pairs = containment_batch(args.workload, length=args.length)
+    label = args.workload if args.workload != "synthetic" else f"synthetic(length={args.length})"
+    return label, schema, pairs
+
+
+def _emit(report: Dict[str, Any], destination: Optional[str], summary: str) -> None:
+    """Write the JSON *report* (stdout via ``-``) or print the summary."""
+    if destination is None:
+        print(summary)
+        return
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if destination == "-":
+        print(payload)
+    else:
+        Path(destination).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {destination}", file=sys.stderr)
+
+
+def _batch_fingerprint(results) -> str:
+    """One digest summarising every verdict of a batch, order included."""
+    import hashlib
+
+    return hashlib.sha256(
+        "\x1f".join(result_fingerprint(result) for result in results).encode("utf-8")
+    ).hexdigest()
+
+
+def _run_backend(
+    engine: ContainmentEngine,
+    backend: str,
+    schema: Schema,
+    pairs,
+    workers: Optional[int],
+) -> Tuple[List[Any], float]:
+    if backend == "process":
+        engine.process_pool(workers).start()  # exclude spawn cost from timings
+    started = time.perf_counter()
+    results = engine.check_many(pairs, schema=schema, parallel=backend, max_workers=workers)
+    return results, time.perf_counter() - started
+
+
+def _stats_block(engine: ContainmentEngine, backend: str) -> Dict[str, Any]:
+    block = {"engine": engine.stats.as_dict()}
+    if backend == "process":
+        process_stats = engine.process_stats()
+        if process_stats is not None:
+            block["workers"] = process_stats.as_dict()
+    return block
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_contain(args: argparse.Namespace) -> int:
+    if args.schema_file:
+        schema = parse_schema(Path(args.schema_file).read_text(encoding="utf-8"))
+    else:
+        schema = workload_schemas(args.workload, length=args.length)["source"]
+    left = parse_c2rpq(args.left)
+    right = parse_c2rpq(args.right)
+    engine = ContainmentEngine()
+    result = engine.contains(left, right, schema)
+    report = {
+        "contained": result.contained,
+        "regime": result.regime,
+        "schema": result.schema_name,
+        "left": result.left_name,
+        "right": result.right_name,
+        "patterns_checked": result.patterns_checked,
+        "tbox_size": result.tbox_size,
+        "elapsed_seconds": result.elapsed_seconds,
+        "fingerprint": result_fingerprint(result),
+    }
+    _emit(report, args.json, result.summary())
+    return 0
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    from .analysis import type_check
+    from .transform.parser import parse_transformation
+    from .workloads import fhir, medical, social
+
+    if args.transformation:
+        if not (args.source and args.target):
+            raise SystemExit("typecheck: --transformation needs --source and --target")
+        transformation = parse_transformation(Path(args.transformation).read_text(encoding="utf-8"))
+        source = parse_schema(Path(args.source).read_text(encoding="utf-8"))
+        target = parse_schema(Path(args.target).read_text(encoding="utf-8"))
+    else:
+        migrations = {
+            "medical": medical.broken_migration if args.variant == "broken" else medical.migration,
+            "fhir": (
+                fhir.broken_migration_v3_to_v4
+                if args.variant == "broken"
+                else fhir.migration_v3_to_v4
+            ),
+            "social": social.broken_reification if args.variant == "broken" else social.reification,
+        }
+        if args.workload not in migrations:
+            raise SystemExit(
+                f"typecheck: workload {args.workload!r} has no packaged migration "
+                "(choose medical, fhir or social, or pass --transformation)"
+            )
+        schemas = workload_schemas(args.workload)
+        transformation = migrations[args.workload]()
+        source, target = schemas["source"], schemas["target"]
+
+    result = type_check(transformation, source, target)
+    report = {
+        "well_typed": result.well_typed,
+        "transformation": result.transformation_name,
+        "source_schema": result.source_schema,
+        "target_schema": result.target_schema,
+        "signature_errors": result.signature_errors,
+        "failed_statements": [str(e.statement) for e in result.failed_statements()],
+        "containment_calls": result.containment_calls,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    _emit(report, args.json, result.summary())
+    return 0 if result.well_typed else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    label, schema, pairs = _resolve_batch(args)
+    engine = ContainmentEngine()
+    try:
+        results, elapsed = _run_backend(engine, args.backend, schema, pairs, args.workers)
+        for _ in range(args.repeat - 1):
+            results, elapsed = _run_backend(engine, args.backend, schema, pairs, args.workers)
+        contained = sum(1 for result in results if result.contained)
+        report = {
+            "workload": label,
+            "backend": args.backend,
+            "workers": args.workers or default_worker_count(),
+            "tasks": len(pairs),
+            "repeat": args.repeat,
+            "elapsed_seconds": elapsed,
+            "throughput_per_second": len(pairs) / elapsed if elapsed else None,
+            "verdicts": {"contained": contained, "not_contained": len(pairs) - contained},
+            "fingerprint": _batch_fingerprint(results),
+            "stats": _stats_block(engine, args.backend),
+        }
+        summary = (
+            f"{label}: {len(pairs)} containment tests on the {args.backend} backend in "
+            f"{elapsed * 1000:.1f} ms ({contained} contained / {len(pairs) - contained} not)"
+        )
+        _emit(report, args.json, summary)
+    finally:
+        engine.shutdown()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    label, schema, pairs = _resolve_batch(args)
+    backends = [backend.strip() for backend in args.backends.split(",") if backend.strip()]
+    unknown = [backend for backend in backends if backend not in BACKENDS]
+    if unknown:
+        raise SystemExit(f"bench: unknown backend(s) {', '.join(unknown)}")
+
+    runs: Dict[str, Dict[str, Any]] = {}
+    fingerprints = {}
+    for backend in backends:
+        engine = ContainmentEngine()
+        try:
+            results, elapsed = _run_backend(engine, backend, schema, pairs, args.workers)
+            fingerprints[backend] = _batch_fingerprint(results)
+            runs[backend] = {
+                "elapsed_seconds": elapsed,
+                "throughput_per_second": len(pairs) / elapsed if elapsed else None,
+                "stats": _stats_block(engine, backend),
+            }
+        finally:
+            engine.shutdown()
+
+    identical = len(set(fingerprints.values())) == 1
+    baseline = runs.get("serial") or runs[backends[0]]
+    for backend, run in runs.items():
+        run["speedup_vs_serial"] = (
+            baseline["elapsed_seconds"] / run["elapsed_seconds"] if run["elapsed_seconds"] else None
+        )
+    report = {
+        "workload": label,
+        "tasks": len(pairs),
+        "workers": args.workers or default_worker_count(),
+        "backends": runs,
+        "fingerprints": fingerprints,
+        "verdicts_identical": identical,
+    }
+    lines = [f"{label}: {len(pairs)} containment tests"]
+    for backend in backends:
+        run = runs[backend]
+        lines.append(
+            f"  {backend:8s} {run['elapsed_seconds'] * 1000:9.1f} ms  "
+            f"{run['speedup_vs_serial']:.2f}x vs serial"
+        )
+    lines.append(f"  verdicts identical across backends: {identical}")
+    _emit(report, args.json, "\n".join(lines))
+    return 0 if identical else 1
+
+
+# --------------------------------------------------------------------------- #
+# the parser
+# --------------------------------------------------------------------------- #
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=BUILTIN_WORKLOADS,
+        default="medical",
+        help="built-in workload (default: medical)",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=8,
+        help="chain length for the synthetic workload (default: 8)",
+    )
+
+
+def _add_report_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a JSON report to PATH ('-' for stdout) instead of the text summary",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Static analysis of graph database transformations (PODS 2023).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    contain = subparsers.add_parser("contain", help="decide one containment test P ⊆_S Q")
+    _add_workload_arguments(contain)
+    contain.add_argument("--schema-file", help="schema DSL file (overrides --workload)")
+    contain.add_argument("--left", required=True, help='left query, e.g. "p(x) := (r)(x, y)"')
+    contain.add_argument("--right", required=True, help='right (acyclic) query, e.g. "q(x) := A(x)"')
+    _add_report_argument(contain)
+    contain.set_defaults(handler=_cmd_contain)
+
+    typecheck = subparsers.add_parser(
+        "typecheck", help="type check a workload migration (Theorem 4.2)"
+    )
+    _add_workload_arguments(typecheck)
+    typecheck.add_argument(
+        "--variant",
+        choices=("default", "broken"),
+        default="default",
+        help="use the workload's deliberately broken migration variant",
+    )
+    typecheck.add_argument("--transformation", help="transformation DSL file")
+    typecheck.add_argument("--source", help="source schema DSL file (with --transformation)")
+    typecheck.add_argument("--target", help="target schema DSL file (with --transformation)")
+    _add_report_argument(typecheck)
+    typecheck.set_defaults(handler=_cmd_typecheck)
+
+    batch = subparsers.add_parser("batch", help="run a containment batch on one backend")
+    _add_workload_arguments(batch)
+    batch.add_argument("--spec", help="JSON spec file (overrides --workload)")
+    batch.add_argument(
+        "--backend", choices=BACKENDS, default="serial", help="execution backend (default: serial)"
+    )
+    batch.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
+    batch.add_argument(
+        "--repeat", type=int, default=1, help="repeat the batch N times, report the last (warm) run"
+    )
+    _add_report_argument(batch)
+    batch.set_defaults(handler=_cmd_batch)
+
+    bench = subparsers.add_parser(
+        "bench", help="compare backends on one workload, assert identical verdicts"
+    )
+    _add_workload_arguments(bench)
+    bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
+    bench.add_argument(
+        "--backends",
+        default="serial,thread,process",
+        help="comma-separated backends to compare (default: serial,thread,process)",
+    )
+    bench.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
+    _add_report_argument(bench)
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* (default ``sys.argv[1:]``) and run the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

@@ -32,14 +32,14 @@ polynomial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..chase.labelsets import TBoxIndex
 from ..dl.concepts import AtMostOneCI, ConceptNames, ExistsCI
 from ..dl.tbox import TBox
 from ..graph.labels import SignedLabel, signed_closure
-from ..schema.schema import Multiplicity, Schema
+from ..schema.schema import Schema
 from .entailment import entails_at_most, entails_exists
 
 __all__ = ["CompletionResult", "CompletionConfig", "complete", "schema_has_finmod_cycle", "simplify_s_driven"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..dl.concepts import AtMostOneCI, ExistsCI, ForAllCI, SubclassOfBottom, conj
+from ..dl.concepts import ForAllCI, SubclassOfBottom, conj
 from ..dl.tbox import TBox
 from ..graph.graph import Graph
 from ..graph.labels import SignedLabel

@@ -26,7 +26,7 @@ statement of Lemma C.2.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..dl.concepts import ForAllCI, SubclassOf, SubclassOfBottom, conj
 from ..dl.tbox import TBox
@@ -34,7 +34,6 @@ from ..exceptions import AcyclicityError, QueryError
 from ..rpq.automaton import build_nfa
 from ..rpq.queries import Atom, C2RPQ, UC2RPQ, Variable
 from ..rpq.regex import EdgeStep, NodeTest
-from ..graph.labels import SignedLabel
 
 __all__ = ["RollingUp", "roll_up", "roll_up_choices"]
 

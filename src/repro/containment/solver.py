@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..chase.engine import ChaseEngine
 from ..chase.solver import SatisfiabilityConfig, build_pattern
@@ -39,10 +39,9 @@ from ..dl.schema_tbox import schema_to_extended_tbox
 from ..dl.tbox import TBox
 from ..exceptions import AcyclicityError, QueryError
 from ..graph.graph import Graph, NodeId
-from ..graph.labels import forward, inverse
 from ..rpq.automaton import build_nfa
-from ..rpq.queries import Atom, C2RPQ, UC2RPQ
-from ..rpq.regex import EdgeStep, NodeTest, Symbol
+from ..rpq.queries import C2RPQ, UC2RPQ
+from ..rpq.regex import Symbol
 from ..schema.schema import Schema
 from .booleanize import booleanize
 from .counterexample import Counterexample, find_counterexample

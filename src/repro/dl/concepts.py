@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple, Union
 
-from ..graph.graph import Graph, NodeId
+from ..graph.graph import Graph
 from ..graph.labels import SignedLabel
 
 __all__ = [

@@ -16,7 +16,7 @@ both sides; it is in one-to-one correspondence with schemas (see
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import TBoxError
 from ..graph.graph import Graph
@@ -31,7 +31,6 @@ from .concepts import (
     NoExistsCI,
     SubclassOf,
     SubclassOfBottom,
-    format_conjunction,
 )
 
 __all__ = ["TBox", "canonical_statement_token", "is_l0_statement", "is_coherent_l0"]

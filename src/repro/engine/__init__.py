@@ -5,11 +5,16 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
 
 * :class:`ContainmentEngine` — owns the fingerprint-keyed caches (verdicts,
   completions + chase engines, schema TBox encodings, compiled NFAs) and the
-  ``check_many`` batch API;
+  ``check_many`` batch API with serial/thread/process backends;
 * :class:`ContainmentRequest` — one ``(left, right, schema, config)`` unit of
   work for a batch;
 * :class:`EngineStats` / :class:`CacheStats` — hit/miss/eviction accounting;
 * :class:`LRUCache` — the bounded cache primitive;
+* :class:`WorkerPool` / :class:`WorkerError` — the process-parallel backend:
+  persistent worker processes, each with its own warm engine, sharded by
+  schema fingerprint (``repro.engine.parallel``);
+* :func:`merge_stats` / :func:`result_fingerprint` — pool-wide statistics
+  aggregation and the verdict digest used to assert backend determinism;
 * :func:`default_engine` — the process-wide engine used by the stateless
   ``repro.containment.contains`` wrapper and the analysis entry points;
 * :func:`reset_default_engine` — drop the shared engine (test isolation).
@@ -23,6 +28,7 @@ from .engine import (
     default_engine,
     reset_default_engine,
 )
+from .parallel import WorkerError, WorkerPool, merge_stats, result_fingerprint
 
 __all__ = [
     "CacheStats",
@@ -30,6 +36,10 @@ __all__ = [
     "ContainmentEngine",
     "ContainmentRequest",
     "EngineStats",
+    "WorkerError",
+    "WorkerPool",
+    "merge_stats",
+    "result_fingerprint",
     "default_engine",
     "reset_default_engine",
 ]

@@ -115,6 +115,22 @@ def _digest(*parts: str) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+def _result_key(
+    schema: Schema, left: UC2RPQ, right: UC2RPQ, config: ContainmentConfig
+) -> Tuple[str, str, ContainmentConfig]:
+    """The results-cache key for one (already ``_as_union``-normalised) call.
+
+    Shared by :class:`_CachingSolver` and the process backend's merge-back
+    path, so results computed in worker processes land under exactly the key
+    a later serial call will look up.
+    """
+    return (
+        schema.canonical_fingerprint(),
+        _digest(left.canonical_token(), left.name, right.canonical_token(), right.name),
+        config,
+    )
+
+
 class _CachingSolver(ContainmentSolver):
     """A drop-in :class:`ContainmentSolver` whose pipeline stages consult the
     engine's caches.
@@ -135,11 +151,7 @@ class _CachingSolver(ContainmentSolver):
         started = time.perf_counter()
         left = _as_union(left, "P")
         right = _as_union(right, "Q")
-        key = (
-            self.schema.canonical_fingerprint(),
-            _digest(left.canonical_token(), left.name, right.canonical_token(), right.name),
-            self.config,
-        )
+        key = _result_key(self.schema, left, right, self.config)
         engine = self.engine
         with engine._lock:
             engine._contains_calls += 1
@@ -241,6 +253,7 @@ class ContainmentEngine:
         self._nfas = LRUCache("nfas", nfa_cache_size)
         self._contains_calls = 0
         self._batches = 0
+        self._process_pool: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # solver facade
@@ -286,7 +299,7 @@ class ContainmentEngine:
         requests: Iterable[Union[ContainmentRequest, Sequence]],
         schema: Optional[Schema] = None,
         config: Optional[ContainmentConfig] = None,
-        parallel: bool = False,
+        parallel: Union[bool, str] = False,
         max_workers: Optional[int] = None,
     ) -> List[ContainmentResult]:
         """Decide a batch of containment tests; results keep request order.
@@ -294,12 +307,30 @@ class ContainmentEngine:
         Each request is a :class:`ContainmentRequest` or a ``(left, right)`` /
         ``(left, right, schema)`` / ``(left, right, schema, config)`` tuple;
         ``schema`` and ``config`` arguments fill in whatever a request leaves
-        unset.  With ``parallel=True`` the batch fans out over a
-        :class:`~concurrent.futures.ThreadPoolExecutor` — under CPython's GIL
-        this overlaps at most the allocator- and cache-bound parts, so the
-        reliable way to make a batch fast is a warm cache, not threads; the
-        flag exists for mixed workloads and future free-threaded builds.
+        unset.  ``parallel`` selects the execution backend:
+
+        * ``False`` / ``"serial"`` — this thread, in request order;
+        * ``True`` / ``"thread"`` — a
+          :class:`~concurrent.futures.ThreadPoolExecutor`; under CPython's
+          GIL this overlaps at most allocator- and cache-bound work, so it
+          helps mixed workloads and free-threaded builds, not the CPU-bound
+          chase;
+        * ``"process"`` — the engine's persistent
+          :class:`~repro.engine.parallel.WorkerPool` of worker processes,
+          sharded by schema fingerprint (see docs/ARCHITECTURE.md).  Worker
+          verdicts are merged back into this engine's result cache, so a
+          later serial call replays them warm; worker-side cache counters
+          are reported by :meth:`process_stats`, not :attr:`stats`.  One
+          transport difference: in these results (and their cached
+          replays) ``completion.tbox`` is a
+          :class:`~repro.engine.parallel.TBoxDigest` — it answers
+          ``canonical_fingerprint()``/``size()`` exactly like the real
+          completed TBox but does not carry the statements themselves.
+
+        All three backends return bit-identical results (asserted by
+        fingerprint in the tests and ``benchmarks/bench_parallel_scaling.py``).
         """
+        backend = self._normalise_backend(parallel)
         normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]] = []
         for request in requests:
             if isinstance(request, ContainmentRequest):
@@ -323,16 +354,90 @@ class ContainmentEngine:
         with self._lock:
             self._batches += 1
 
+        if backend == "process" and normalized:
+            return self._check_many_in_processes(normalized, max_workers)
+
         def run(task: Tuple[Any, Any, Schema, Optional[ContainmentConfig]]) -> ContainmentResult:
             left, right, task_schema, task_config = task
             return self.contains(left, right, task_schema, task_config)
 
-        if parallel and len(normalized) > 1:
+        if backend == "thread" and len(normalized) > 1:
             workers = max_workers or self.max_workers or min(32, (os.cpu_count() or 2))
             workers = min(workers, len(normalized))
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 return list(executor.map(run, normalized))
         return [run(task) for task in normalized]
+
+    @staticmethod
+    def _normalise_backend(parallel: Union[bool, str]) -> str:
+        if parallel is False or parallel == "serial":
+            return "serial"
+        if parallel is True or parallel == "thread":
+            return "thread"
+        if parallel == "process":
+            return "process"
+        raise ValueError(
+            f"check_many: unknown backend {parallel!r} "
+            "(expected False/'serial', True/'thread' or 'process')"
+        )
+
+    def _check_many_in_processes(
+        self,
+        normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]],
+        max_workers: Optional[int],
+    ) -> List[ContainmentResult]:
+        """Fan the batch out over the persistent worker pool and merge back.
+
+        Results are inserted into this engine's result cache under the same
+        keys the serial path uses, so a process batch warms the parent
+        exactly like a serial one (witnesses are still served as independent
+        copies via the usual replay path).
+        """
+        pool = self.process_pool(max_workers)
+        tasks = [
+            (_as_union(left, "P"), _as_union(right, "Q"), task_schema, task_config)
+            for left, right, task_schema, task_config in normalized
+        ]
+        results = pool.check_many(tasks)
+        with self._lock:
+            for (left, right, task_schema, task_config), result in zip(tasks, results):
+                key = _result_key(task_schema, left, right, task_config or self.default_config)
+                self._results.put(key, result)
+        return results
+
+    def process_pool(self, max_workers: Optional[int] = None):
+        """The engine's persistent worker pool, created on first use.
+
+        The pool inherits the engine's default config; its size is fixed at
+        creation (``max_workers``, then the engine's ``max_workers``, then
+        one per CPU).  Call :meth:`shutdown` to stop the workers; the pool
+        is also closed at interpreter exit.  A pool that closed itself
+        after a worker death is replaced by a fresh one here.
+        """
+        from .parallel import WorkerPool, default_worker_count
+
+        with self._lock:
+            if self._process_pool is not None and self._process_pool.closed:
+                self._process_pool = None
+            if self._process_pool is None:
+                workers = max_workers or self.max_workers or default_worker_count()
+                self._process_pool = WorkerPool(workers, self.default_config)
+            return self._process_pool
+
+    def process_stats(self) -> Optional[EngineStats]:
+        """Aggregated worker-side cache counters, ``None`` before first use."""
+        with self._lock:
+            pool = self._process_pool
+        if pool is None or not pool.started:
+            return None
+        return pool.stats()
+
+    def shutdown(self) -> None:
+        """Stop the worker pool, if one was created (caches are kept)."""
+        with self._lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------------ #
     # statistics and cache management

@@ -1,0 +1,637 @@
+"""Process-parallel batch execution for the containment engine.
+
+:class:`~repro.engine.ContainmentEngine.check_many` with ``parallel="thread"``
+cannot beat the GIL on the CPU-bound chase, so this module supplies the
+*process* backend: a persistent :class:`WorkerPool` whose workers each own a
+warm :class:`~repro.engine.ContainmentEngine` in a separate interpreter.
+
+Three design points (docs/ARCHITECTURE.md, "The process-parallel backend"):
+
+* **Routing is sharded by schema fingerprint.**  Every request carries the
+  routing key ``(schema fp, right-query token, request digest)``; requests
+  for the same schema land on the same worker so its schema-TBox, completion
+  and NFA caches stay hot.  When a batch holds fewer distinct schemas than
+  workers (the common single-schema case), each schema receives a contiguous
+  *range* of workers proportional to its share of the batch and requests are
+  sub-sharded by right-query token (the completion-cache key) — falling back
+  to the full request digest when even the right queries do not spread —
+  so parallelism never collapses while cache affinity degrades gracefully.
+  :func:`plan_routing` is a pure, deterministic function of the batch.
+
+* **Everything that crosses the process boundary is pickled — and kept
+  lean.**  Requests (queries, schemas, configs) and results (verdicts,
+  witness graphs, finite counterexamples) are plain picklable objects;
+  workers are started via the ``spawn`` method so they never inherit locks
+  or caches from the parent.  Each worker receives its whole shard as one
+  message and replies with one message, so objects shared across requests
+  (the schema, a completion reused by many results) are pickled once per
+  worker, not once per request.  The one deliberately *lossy* boundary: a
+  result's ``completion.tbox`` — the completed Horn TBox, easily hundreds
+  of kilobytes and only ever consumed via ``canonical_fingerprint()``/
+  ``size()`` — is replaced by a :class:`TBoxDigest` carrying exactly those
+  two answers (computed worker-side from the real bits); the full TBox
+  stays in the worker's completion cache.  Worker-side exceptions travel
+  back as :class:`WorkerError` with the remote traceback attached.
+
+* **Verdicts are bit-identical to the serial path.**  Workers run the exact
+  same ``ContainmentEngine.contains`` code; :func:`result_fingerprint`
+  digests every verdict-relevant field (including witness/counterexample
+  payloads and the completed TBox fingerprint, excluding only wall-clock
+  timings) and the tests and ``benchmarks/bench_parallel_scaling.py`` assert
+  serial/thread/process fingerprint identity on every workload.
+
+Aggregate cache statistics are merged back with :func:`merge_stats`, so
+``WorkerPool.stats()`` reports pool-wide hit/miss/eviction counters in the
+same :class:`EngineStats` shape as a single engine.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..containment.solver import ContainmentConfig, ContainmentResult, _as_union
+from .cache import CacheStats
+from .engine import ContainmentEngine, EngineStats
+
+__all__ = [
+    "TBoxDigest",
+    "WorkerError",
+    "WorkerPool",
+    "default_worker_count",
+    "graph_token",
+    "merge_stats",
+    "plan_routing",
+    "result_fingerprint",
+]
+
+
+def default_worker_count() -> int:
+    """The pool size used when none is given: one worker per CPU, capped."""
+    return max(1, min(16, os.cpu_count() or 1))
+
+
+def _stable_hash(text: str) -> int:
+    """A deterministic (process-independent) 64-bit hash of *text*."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+# --------------------------------------------------------------------------- #
+# routing
+# --------------------------------------------------------------------------- #
+def plan_routing(keys: Sequence[Tuple[str, str, str]], workers: int) -> List[int]:
+    """Assign each request to a worker; deterministic in the batch contents.
+
+    *keys* holds one ``(schema fingerprint, secondary token, tertiary digest)``
+    triple per request.  Requests sharing a schema fingerprint are routed to
+    the same worker when there are at least as many distinct schemas as
+    workers.  Otherwise every schema gets a contiguous worker range sized
+    proportionally to its request count (largest-remainder apportionment, at
+    least one worker each) and requests spread inside the range by secondary
+    token — or by tertiary digest when the range is wider than the number of
+    distinct secondary tokens, so a single-(schema, right) batch still uses
+    every worker in its range.
+    """
+    if workers < 1:
+        raise ValueError("plan_routing needs at least one worker")
+    if workers == 1 or not keys:
+        return [0] * len(keys)
+
+    groups: Dict[str, List[int]] = {}
+    for index, (schema_fp, _, _) in enumerate(keys):
+        groups.setdefault(schema_fp, []).append(index)
+
+    assignment = [0] * len(keys)
+    if len(groups) >= workers:
+        for schema_fp, members in groups.items():
+            worker = _stable_hash(schema_fp) % workers
+            for index in members:
+                assignment[index] = worker
+        return assignment
+
+    # fewer schemas than workers: contiguous ranges, proportional widths
+    ordered = sorted(groups.items())
+    total = len(keys)
+    widths = [1] * len(ordered)
+    spare = workers - len(ordered)
+    if spare > 0:
+        quotas = [len(members) * spare / total for _, members in ordered]
+        floors = [int(quota) for quota in quotas]
+        for position, floor in enumerate(floors):
+            widths[position] += floor
+        remainder = spare - sum(floors)
+        by_fraction = sorted(
+            range(len(ordered)),
+            key=lambda position: (floors[position] - quotas[position], ordered[position][0]),
+        )
+        for position in by_fraction[:remainder]:
+            widths[position] += 1
+
+    start = 0
+    for (schema_fp, members), width in zip(ordered, widths):
+        secondaries = {keys[index][1] for index in members}
+        spread_by_secondary = len(secondaries) >= width
+        for index in members:
+            token = keys[index][1] if spread_by_secondary else keys[index][2]
+            assignment[index] = start + _stable_hash(token) % width
+        start += width
+    return assignment
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints of results (the determinism-verification material)
+# --------------------------------------------------------------------------- #
+def graph_token(graph) -> str:
+    """A deterministic serialisation of a witness/counterexample graph.
+
+    Node identifiers are rendered with ``repr`` (they may be tuples or
+    strings) and both node and edge lists are sorted, so isomorphic copies of
+    the same graph object — e.g. a pickled round-trip — produce the same
+    token.
+    """
+    if graph is None:
+        return "∅"
+    nodes = sorted(f"{node!r}:{','.join(sorted(graph.labels(node)))}" for node in graph.nodes())
+    edges = sorted(
+        f"{source!r}-{label}->{target!r}" for source, label, target in graph.edges()
+    )
+    return "|".join(["nodes", *nodes, "edges", *edges])
+
+
+def result_fingerprint(result: ContainmentResult) -> str:
+    """SHA-256 digest of every verdict-relevant field of *result*.
+
+    Wall-clock timing (``elapsed_seconds``) is excluded; everything else —
+    including the witness pattern, the finite counterexample payload and the
+    completed TBox fingerprint — is part of the digest, so serial, thread and
+    process backends must agree bit-for-bit to fingerprint equal.
+    """
+    counterexample = result.finite_counterexample
+    completion = result.completion
+    parts = [
+        repr(result.contained),
+        result.regime,
+        result.schema_name,
+        result.left_name,
+        result.right_name,
+        str(result.tbox_size),
+        str(result.patterns_checked),
+        result.reason,
+        graph_token(result.witness_pattern),
+        graph_token(counterexample.graph) if counterexample is not None else "∅",
+        repr(counterexample.answer) if counterexample is not None else "∅",
+        completion.tbox.canonical_fingerprint() if completion is not None else "∅",
+    ]
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# transport lightening
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TBoxDigest:
+    """The transport stand-in for a completed TBox in process-backend results.
+
+    Shipping the full completion (hundreds of kilobytes of Horn statements,
+    shared by every result of the same ``(schema, right)`` pair) dominates
+    batch latency, and callers only ever ask a result's completed TBox two
+    questions; the digest answers both from values computed worker-side on
+    the real object, so fingerprint comparisons against serial runs remain
+    exact.
+    """
+
+    fingerprint: str
+    statement_count: int
+
+    def canonical_fingerprint(self) -> str:
+        return self.fingerprint
+
+    def size(self) -> int:
+        return self.statement_count
+
+    def __getattr__(self, name: str):
+        # results computed by worker processes (and their cached replays on
+        # the parent engine) carry this digest; anything beyond the two
+        # supported queries should fail with directions, not a puzzle
+        raise AttributeError(
+            f"TBoxDigest has no attribute {name!r}: it stands in for a completed "
+            "TBox shipped back from a worker process and only supports "
+            "canonical_fingerprint() and size(); rebuild the full TBox with a "
+            "ContainmentSolver (or a serial engine call) if you need the statements"
+        )
+
+
+def _lighten_containment(
+    result: ContainmentResult, memo: Dict[int, TBoxDigest]
+) -> ContainmentResult:
+    """Replace the completed TBox with its digest.
+
+    *memo* is keyed by TBox object identity and scoped to one worker chunk:
+    the engine's completion cache hands the same completed TBox to every
+    result of a ``(schema, right)`` pair, and canonicalising a large TBox
+    costs tens of milliseconds, so each distinct TBox must be fingerprinted
+    once per chunk, not once per result.  (Identity keying is safe for the
+    chunk's lifetime — the worker is single-threaded and the objects are
+    pinned by its caches.)
+    """
+    completion = result.completion
+    if completion is None or isinstance(completion.tbox, TBoxDigest):
+        return result
+    digest = memo.get(id(completion.tbox))
+    if digest is None:
+        digest = TBoxDigest(completion.tbox.canonical_fingerprint(), completion.tbox.size())
+        memo[id(completion.tbox)] = digest
+    return dataclasses.replace(result, completion=dataclasses.replace(completion, tbox=digest))
+
+
+def _lighten_for_transport(kind: str, value: Any, memo: Dict[int, TBoxDigest]) -> Any:
+    """Swap completed TBoxes for digests in every nested containment result."""
+    if kind == "contain":
+        return _lighten_containment(value, memo)
+    if kind == "typecheck":
+        for entailment in value.statement_results:
+            if entailment.containment is not None:
+                entailment.containment = _lighten_containment(entailment.containment, memo)
+        if value.coverage is not None:
+            for check in value.coverage.checks:
+                if check.result is not None:
+                    check.result = _lighten_containment(check.result, memo)
+        return value
+    if kind == "equivalence":
+        for difference in value.differences:
+            if difference.left_result is not None:
+                difference.left_result = _lighten_containment(difference.left_result, memo)
+            if difference.right_result is not None:
+                difference.right_result = _lighten_containment(difference.right_result, memo)
+        return value
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# statistics merging
+# --------------------------------------------------------------------------- #
+def _merge_cache_stats(name: str, snapshots: Sequence[CacheStats]) -> CacheStats:
+    merged = CacheStats(name)
+    for snapshot in snapshots:
+        merged.hits += snapshot.hits
+        merged.misses += snapshot.misses
+        merged.evictions += snapshot.evictions
+    return merged
+
+
+def merge_stats(snapshots: Sequence[EngineStats]) -> EngineStats:
+    """Sum per-worker :class:`EngineStats` into one pool-wide aggregate."""
+    return EngineStats(
+        results=_merge_cache_stats("results", [s.results for s in snapshots]),
+        completions=_merge_cache_stats("completions", [s.completions for s in snapshots]),
+        schema_tboxes=_merge_cache_stats("schema-tboxes", [s.schema_tboxes for s in snapshots]),
+        nfas=_merge_cache_stats("nfas", [s.nfas for s in snapshots]),
+        contains_calls=sum(s.contains_calls for s in snapshots),
+        batches=sum(s.batches for s in snapshots),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the worker process
+# --------------------------------------------------------------------------- #
+class WorkerError(RuntimeError):
+    """A task raised inside a worker process; carries the remote traceback."""
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+def _run_task(engine: ContainmentEngine, kind: str, payload: Tuple) -> Any:
+    """Execute one unit of work against the worker's warm engine.
+
+    The analysis handlers import lazily: :mod:`repro.analysis` itself imports
+    the engine package, so a module-level import would be circular.
+    """
+    if kind == "contain":
+        left, right, schema, config = payload
+        return engine.contains(left, right, schema, config)
+    if kind == "typecheck":
+        from ..analysis.typecheck import type_check
+
+        transformation, source, target, config = payload
+        return type_check(transformation, source, target, config=config, engine=engine)
+    if kind == "equivalence":
+        from ..analysis.equivalence import check_equivalence
+
+        left, right, schema, config = payload
+        return check_equivalence(left, right, schema, config=config, engine=engine)
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _worker_main(worker_id: int, config, cache_sizes: Dict[str, int], inbox, outbox) -> None:
+    """The worker loop: one warm engine, tasks in, results out."""
+    engine = ContainmentEngine(
+        config,
+        result_cache_size=cache_sizes["results"],
+        completion_cache_size=cache_sizes["completions"],
+        schema_tbox_cache_size=cache_sizes["schema_tboxes"],
+        nfa_cache_size=cache_sizes["nfas"],
+    )
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        command = message[0]
+        if command == "tasks":
+            _, kind, chunk = message
+            reply: List[Tuple] = []
+            digest_memo: Dict[int, TBoxDigest] = {}
+            for index, payload in chunk:
+                try:
+                    value = _lighten_for_transport(kind, _run_task(engine, kind, payload), digest_memo)
+                    reply.append((index, "ok", value))
+                except Exception as error:  # noqa: BLE001 - relayed to the parent
+                    reply.append(
+                        (index, "error", f"{type(error).__name__}: {error}", traceback.format_exc())
+                    )
+            outbox.put(("results", worker_id, reply))
+        elif command == "stats":
+            outbox.put(("stats", worker_id, engine.stats))
+        else:  # pragma: no cover - defensive: unknown control message
+            outbox.put(("results", worker_id, [(None, "error", f"unknown command {command!r}", "")]))
+
+
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_pools() -> None:  # pragma: no cover - interpreter shutdown
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+class WorkerPool:
+    """A persistent pool of worker processes, each with a warm engine.
+
+    Workers are started lazily on the first batch (or eagerly via
+    :meth:`start`) with the ``spawn`` method, so each runs a fresh interpreter
+    with nothing inherited from the parent but the pickled *config* and cache
+    sizes.  The pool survives across batches — that is the whole point:
+    per-worker caches accumulate heat exactly like a long-lived serial
+    engine's.  Use as a context manager or call :meth:`close` to tear down;
+    live pools are also closed at interpreter exit.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        config: Optional[ContainmentConfig] = None,
+        *,
+        result_cache_size: int = 4096,
+        completion_cache_size: int = 512,
+        schema_tbox_cache_size: int = 128,
+        nfa_cache_size: int = 4096,
+        start_method: str = "spawn",
+    ) -> None:
+        self.workers = workers or default_worker_count()
+        self.config = config
+        self._cache_sizes = {
+            "results": result_cache_size,
+            "completions": completion_cache_size,
+            "schema_tboxes": schema_tbox_cache_size,
+            "nfas": nfa_cache_size,
+        }
+        self._context = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._processes: List[Any] = []
+        self._inboxes: List[Any] = []
+        self._outbox: Optional[Any] = None
+        self._closed = False
+        _LIVE_POOLS.add(self)
+        # a pool dropped without close() (e.g. its engine was discarded) must
+        # not leak its worker processes; the finalizer reaps them at GC time.
+        # close() empties the shared lists, which makes the reap a no-op.
+        self._finalizer = weakref.finalize(
+            self, WorkerPool._reap, self._processes, self._inboxes
+        )
+
+    @staticmethod
+    def _reap(processes: List[Any], inboxes: List[Any]) -> None:
+        """GC-time teardown: runs without the pool lock (the pool is gone)."""
+        for inbox in inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker processes (no-op when already running)."""
+        with self._lock:
+            self._ensure_started()
+        return self
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("the worker pool has been closed")
+        if self._processes:
+            return
+        self._outbox = self._context.Queue()
+        for worker_id in range(self.workers):
+            inbox = self._context.Queue()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_id, self.config, self._cache_sizes, inbox, self._outbox),
+                daemon=True,
+                name=f"repro-engine-worker-{worker_id}",
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        with self._lock:
+            self._teardown_locked()
+
+    def _teardown_locked(self) -> None:
+        """Stop workers and release queues; caller holds the pool lock.
+
+        Also the failure path: after a worker died mid-batch the outbox may
+        still hold (or later receive) replies from surviving workers, which
+        a subsequent batch would misattribute to its own indices — so the
+        whole pool is torn down rather than left half-alive.  The engine
+        transparently builds a fresh pool on the next process batch.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        for inbox in self._inboxes:
+            inbox.close()
+        if self._outbox is not None:
+            self._outbox.close()
+        self._processes.clear()
+        self._inboxes.clear()
+        self._outbox = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # batch execution
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self,
+        kind: str,
+        payloads: Sequence[Tuple],
+        routing_keys: Sequence[Tuple[str, str, str]],
+    ) -> List[Any]:
+        """Route *payloads* to workers and gather results in request order.
+
+        Each participating worker receives its whole shard as **one** message
+        and replies with one message, so objects shared across the shard
+        (schemas, queries, reused completions) cross the pickle boundary a
+        single time.  One batch at a time: submissions are serialised under
+        the pool lock so interleaved batches cannot steal each other's
+        replies.  A worker-side exception does not abort the rest of that
+        worker's shard; after all replies arrive the first failure (in
+        request order) is raised as :class:`WorkerError`.
+        """
+        if len(payloads) != len(routing_keys):
+            raise ValueError("run_batch: payloads and routing keys must align")
+        if not payloads:
+            return []
+        with self._lock:
+            self._ensure_started()
+            assignment = plan_routing(routing_keys, self.workers)
+            chunks: Dict[int, List[Tuple[int, Tuple]]] = {}
+            for index, (payload, worker) in enumerate(zip(payloads, assignment)):
+                chunks.setdefault(worker, []).append((index, payload))
+            for worker, chunk in chunks.items():
+                self._inboxes[worker].put(("tasks", kind, chunk))
+            results: List[Any] = [None] * len(payloads)
+            errors: List[Tuple[int, int, str, str]] = []
+            for _ in range(len(chunks)):
+                message = self._receive()
+                if message[0] != "results":  # pragma: no cover - defensive
+                    raise WorkerError(f"unexpected reply while running a batch: {message[0]!r}")
+                _, worker_id, reply = message
+                for entry in reply:
+                    if entry[1] == "ok":
+                        results[entry[0]] = entry[2]
+                    else:
+                        errors.append((entry[0], worker_id, entry[2], entry[3]))
+            if errors:
+                errors.sort()
+                index, worker_id, description, remote_traceback = errors[0]
+                suffix = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+                raise WorkerError(
+                    f"worker {worker_id} failed on request {index}: {description}{suffix}",
+                    remote_traceback,
+                )
+            return results
+
+    def _receive(self) -> Tuple:
+        """One reply from the outbox, watching for dead workers.
+
+        A worker that dies without replying (killed, import failure in the
+        spawned interpreter, unpicklable payload) would otherwise block the
+        parent forever; polling its liveness turns that into a
+        :class:`WorkerError` naming the exit code.  Because replies from the
+        *surviving* workers of the aborted batch may still be in flight, the
+        pool is torn down before raising — a half-alive pool would hand
+        those stale replies to the next batch as its own results.
+        """
+        while True:
+            try:
+                return self._outbox.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [
+                    (process.name, process.exitcode)
+                    for process in self._processes
+                    if not process.is_alive()
+                ]
+                if dead:
+                    self._teardown_locked()  # the caller already holds the lock
+                    raise WorkerError(
+                        "worker process(es) died without replying: "
+                        + ", ".join(f"{name} (exit code {code})" for name, code in dead)
+                        + "; the pool has been closed — the engine will start a "
+                        "fresh one on the next process batch"
+                    )
+
+    def check_many(
+        self,
+        requests: Sequence[Tuple[Any, Any, Any, Optional[ContainmentConfig]]],
+    ) -> List[ContainmentResult]:
+        """Decide normalised ``(left, right, schema, config)`` requests.
+
+        The routing key is ``(schema fp, right token, full request digest)``:
+        schema-major sharding, completion-affine sub-sharding (the completion
+        cache is keyed by the right query) — see :func:`plan_routing`.
+        """
+        keys = []
+        tasks = []
+        for left, right, schema, config in requests:
+            left, right = _as_union(left, "P"), _as_union(right, "Q")
+            schema_fp = schema.canonical_fingerprint()
+            right_token = right.canonical_token()
+            request_digest = "\x1f".join(
+                (schema_fp, right_token, left.canonical_token(), repr(config))
+            )
+            keys.append((schema_fp, right_token, request_digest))
+            tasks.append((left, right, schema, config))
+        return self.run_batch("contain", tasks, keys)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def worker_stats(self) -> List[EngineStats]:
+        """Per-worker engine statistics (in worker order)."""
+        with self._lock:
+            self._ensure_started()
+            for inbox in self._inboxes:
+                inbox.put(("stats",))
+            snapshots: List[Optional[EngineStats]] = [None] * self.workers
+            for _ in range(self.workers):
+                message = self._receive()
+                if message[0] != "stats":  # pragma: no cover - defensive
+                    raise WorkerError(f"unexpected reply while collecting stats: {message[0]!r}")
+                _, worker_id, stats = message
+                snapshots[worker_id] = stats
+            return [snapshot for snapshot in snapshots if snapshot is not None]
+
+    def stats(self) -> EngineStats:
+        """Pool-wide aggregate of every worker's cache counters."""
+        return merge_stats(self.worker_stats())

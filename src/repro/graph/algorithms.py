@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .graph import Graph, NodeId
 

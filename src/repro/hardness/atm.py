@@ -19,8 +19,8 @@ reduction of :mod:`repro.hardness.reduction` is benchmarked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..exceptions import ReproError
 

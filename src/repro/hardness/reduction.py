@@ -24,13 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..rpq.queries import Atom, C2RPQ, UC2RPQ
-from ..rpq.regex import Regex, concat, edge, node, plus, star, union
+from ..rpq.queries import Atom, C2RPQ
+from ..rpq.regex import Regex, concat, edge, node, star, union
 from ..schema.schema import Schema
 from ..transform.constructors import NodeConstructor
 from ..transform.rules import EdgeRule, NodeRule
 from ..transform.transformation import Transformation
-from .atm import ATM, BLANK, LEFT_MARKER, RIGHT_MARKER
+from .atm import ATM, BLANK
 
 __all__ = [
     "nest",

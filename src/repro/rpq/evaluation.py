@@ -11,7 +11,7 @@ join (adequate for the graph sizes used in static analysis and tests).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graph.graph import Graph, NodeId
 from .automaton import NFA, build_nfa

@@ -17,8 +17,7 @@ The module implements the paper's notions around queries:
 from __future__ import annotations
 
 import hashlib
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import AcyclicityError, QueryError

@@ -20,14 +20,12 @@ schema (Appendix B).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import TransformationError
 from ..graph.labels import SignedLabel
 from ..rpq.queries import Atom, C2RPQ, UC2RPQ, equality_atom
 from ..schema.schema import Schema
-from .rules import EdgeRule, NodeRule
 from .transformation import Transformation
 
 __all__ = [

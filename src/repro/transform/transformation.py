@@ -15,9 +15,9 @@ elicitation report an error, exactly as discussed in the paper).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
-from ..exceptions import ConstructorError, TransformationError
+from ..exceptions import TransformationError
 from ..graph.graph import Graph
 from ..rpq.evaluation import eval_c2rpq
 from .constructors import ConstructorRegistry, NodeConstructor

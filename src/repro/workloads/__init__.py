@@ -10,9 +10,21 @@ Re-exports (submodules):
   schema migration;
 * :mod:`repro.workloads.social` — a social-network reification scenario;
 * :mod:`repro.workloads.synthetic` — parametric schema/query/transformation
-  families for scaling benchmarks.
+  families for scaling benchmarks;
+* :mod:`repro.workloads.batches` — ready-made containment batches over all
+  of the above (the input format of ``check_many``, the CLI and the
+  parallel-scaling benchmark), plus :data:`~repro.workloads.batches.BUILTIN_WORKLOADS`.
 """
 
-from . import fhir, medical, social, synthetic
+from . import batches, fhir, medical, social, synthetic
+from .batches import BUILTIN_WORKLOADS, containment_batch
 
-__all__ = ["fhir", "medical", "social", "synthetic"]
+__all__ = [
+    "batches",
+    "fhir",
+    "medical",
+    "social",
+    "synthetic",
+    "BUILTIN_WORKLOADS",
+    "containment_batch",
+]

@@ -10,10 +10,10 @@ experiments under ``benchmarks/``; see the benchmark section of README.md).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..graph.graph import Graph
-from ..rpq.queries import Atom, C2RPQ, UC2RPQ
+from ..rpq.queries import Atom, C2RPQ
 from ..rpq.regex import concat, edge, node, plus, star
 from ..schema.schema import Schema
 from ..transform.constructors import NodeConstructor

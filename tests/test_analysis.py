@@ -14,7 +14,7 @@ from repro.analysis import (
 )
 from repro.exceptions import ElicitationError
 from repro.graph import forward
-from repro.schema import Schema, conforms, schema_equivalent
+from repro.schema import conforms, schema_equivalent
 from repro.transform.parser import parse_transformation
 from repro.workloads import fhir, medical, social
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rpq import build_nfa, concat, edge, node, parse_regex, plus, star, union
+from repro.rpq import build_nfa, concat, edge, parse_regex, plus, star, union
 from repro.rpq.regex import EMPTY, EPSILON, EdgeStep, NodeTest
 
 

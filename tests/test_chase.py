@@ -16,7 +16,7 @@ from repro.dl import (
     schema_to_extended_tbox,
 )
 from repro.exceptions import SolverError
-from repro.graph import Graph, GraphBuilder, forward, inverse
+from repro.graph import GraphBuilder, forward, inverse
 from repro.workloads import medical
 
 

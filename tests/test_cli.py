@@ -1,0 +1,155 @@
+"""The ``python -m repro`` command line: subcommand behaviour, report
+formats, spec-file loading and backend agreement."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.schema.parser import schema_to_text
+from repro.workloads import medical
+
+
+def test_contain_text_summary(capsys):
+    code = main(
+        [
+            "contain",
+            "--left", "p(x) := (designTarget . crossReacting*)(x, y)",
+            "--right", "q(x) := Vaccine(x)",
+        ]
+    )
+    assert code == 0
+    assert "⊆" in capsys.readouterr().out
+
+
+def test_contain_json_report_to_stdout(capsys):
+    code = main(
+        [
+            "contain",
+            "--workload", "synthetic",
+            "--length", "3",
+            "--left", "p(x) := (e0 . e1)(x, y)",
+            "--right", "q(x) := L0(x)",
+            "--json", "-",
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["contained"] is True
+    assert report["schema"] == "Chain3"
+    assert len(report["fingerprint"]) == 64
+
+
+def test_contain_reads_schema_files(tmp_path, capsys):
+    schema_file = tmp_path / "schema.txt"
+    schema_file.write_text(schema_to_text(medical.source_schema()), encoding="utf-8")
+    code = main(
+        [
+            "contain",
+            "--schema-file", str(schema_file),
+            "--left", "p(x) := Antigen(x)",
+            "--right", "q(x) := Vaccine(x)",
+            "--json", "-",
+        ]
+    )
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["contained"] is False
+
+
+@pytest.mark.parametrize(
+    "workload, variant, expected_code, expected_well_typed",
+    [("medical", "default", 0, True), ("medical", "broken", 1, False), ("social", "default", 0, True)],
+)
+def test_typecheck_workloads(capsys, workload, variant, expected_code, expected_well_typed):
+    code = main(["typecheck", "--workload", workload, "--variant", variant, "--json", "-"])
+    assert code == expected_code
+    report = json.loads(capsys.readouterr().out)
+    assert report["well_typed"] is expected_well_typed
+    if not expected_well_typed:
+        assert report["failed_statements"]
+
+
+def test_typecheck_synthetic_has_no_migration():
+    with pytest.raises(SystemExit):
+        main(["typecheck", "--workload", "synthetic"])
+
+
+def test_batch_json_report(tmp_path):
+    out = tmp_path / "report.json"
+    code = main(["batch", "--workload", "medical", "--json", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["backend"] == "serial"
+    assert report["tasks"] == report["verdicts"]["contained"] + report["verdicts"]["not_contained"]
+    assert report["stats"]["engine"]["contains_calls"] == report["tasks"]
+    assert len(report["fingerprint"]) == 64
+
+
+def test_batch_repeat_reports_the_warm_run(capsys):
+    code = main(["batch", "--workload", "social", "--repeat", "2", "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    # the second pass is served from the result cache
+    assert report["stats"]["engine"]["caches"]["results"]["hits"] >= report["tasks"]
+
+
+def test_batch_loads_spec_files(tmp_path, capsys):
+    spec = {
+        "schema": schema_to_text(medical.source_schema()),
+        "pairs": [
+            {"left": "p(x) := (designTarget)(x, y)", "right": "q(x) := Vaccine(x)"},
+            {"left": "p2(x) := Antigen(x)", "right": "q(x) := Vaccine(x)"},
+        ],
+    }
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(spec), encoding="utf-8")
+    code = main(["batch", "--spec", str(spec_file), "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["tasks"] == 2
+    assert report["verdicts"] == {"contained": 1, "not_contained": 1}
+
+
+def test_batch_rejects_malformed_specs(tmp_path):
+    spec_file = tmp_path / "bad.json"
+    spec_file.write_text(json.dumps({"schema": "schema S { nodes A; }"}), encoding="utf-8")
+    with pytest.raises(SystemExit):
+        main(["batch", "--spec", str(spec_file)])
+
+
+def test_bench_asserts_backend_agreement(capsys):
+    code = main(
+        ["bench", "--workload", "social", "--backends", "serial,thread", "--json", "-"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdicts_identical"] is True
+    assert set(report["backends"]) == {"serial", "thread"}
+    assert len(set(report["fingerprints"].values())) == 1
+    assert report["backends"]["serial"]["speedup_vs_serial"] == 1.0
+
+
+def test_bench_includes_process_backend(capsys):
+    code = main(
+        [
+            "bench",
+            "--workload", "medical",
+            "--backends", "serial,process",
+            "--workers", "2",
+            "--json", "-",
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdicts_identical"] is True
+    assert "workers" in report["backends"]["process"]["stats"]
+
+
+def test_bench_rejects_unknown_backends():
+    with pytest.raises(SystemExit):
+        main(["bench", "--workload", "medical", "--backends", "serial,warp"])
+
+
+def test_unknown_subcommand_exits_with_usage():
+    with pytest.raises(SystemExit):
+        main(["conquer"])

@@ -16,8 +16,6 @@ from repro.dl import (
     AtMostOneCI,
     ExistsCI,
     ForAllCI,
-    NoExistsCI,
-    SubclassOf,
     TBox,
     conj,
     schema_to_extended_tbox,

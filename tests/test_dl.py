@@ -24,7 +24,7 @@ from repro.dl import (
 )
 from repro.exceptions import TBoxError
 from repro.graph import GraphBuilder, forward, inverse
-from repro.schema import Multiplicity, Schema, conforms
+from repro.schema import Schema, conforms
 from repro.workloads import medical
 
 

@@ -1,6 +1,5 @@
 """Tests for homomorphisms, sparsity, skeletons and isomorphism."""
 
-import pytest
 
 from repro.graph import (
     Graph,

@@ -6,7 +6,6 @@ import pytest
 from repro.graph import forward, inverse
 from repro.rpq import eval_uc2rpq
 from repro.transform import (
-    Transformation,
     canonical_variables,
     conjoin_unions,
     edge_query,

@@ -16,10 +16,9 @@ from repro.hardness import (
     tree_device_queries,
     tree_device_schema,
 )
-from repro.rpq import eval_c2rpq, parse_c2rpq, parse_regex, satisfies
+from repro.rpq import parse_c2rpq, parse_regex, satisfies
 from repro.schema import conforms
 from repro.graph import GraphBuilder
-from repro.workloads import medical
 
 
 class TestATMs:

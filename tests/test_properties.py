@@ -2,23 +2,19 @@
 invariants the paper's constructions rely on."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.graph import Graph, graph_from_dict, graph_to_dict
 from repro.rpq import (
-    C2RPQ,
-    Atom,
     build_nfa,
     concat,
     edge,
     eval_regex,
     node,
-    plus,
     star,
     union,
 )
-from repro.rpq.regex import EPSILON, Regex
+from repro.rpq.regex import EPSILON
 from repro.schema import Multiplicity, Schema, conforms
 from repro.dl import conformance_tbox
 

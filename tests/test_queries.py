@@ -11,11 +11,8 @@ from repro.rpq import (
     edge,
     equality_atom,
     label_atom,
-    node,
     parse_c2rpq,
     parse_uc2rpq,
-    parse_regex,
-    plus,
 )
 
 

@@ -15,7 +15,7 @@ from repro.containment.rolling_up import roll_up_choices
 from repro.exceptions import AcyclicityError, QueryError
 from repro.graph import GraphBuilder
 from repro.graph.generators import cycle_graph, path_graph
-from repro.rpq import UC2RPQ, parse_c2rpq, parse_uc2rpq, satisfies
+from repro.rpq import parse_uc2rpq, satisfies
 from repro.workloads import medical
 
 

@@ -4,18 +4,15 @@ import pytest
 
 from repro.chase import SatisfiabilityConfig, SatisfiabilitySolver, build_pattern, is_satisfiable
 from repro.dl import (
-    AtMostOneCI,
-    ExistsCI,
     ForAllCI,
     NoExistsCI,
-    SubclassOf,
     SubclassOfBottom,
     TBox,
     conj,
     schema_to_extended_tbox,
 )
 from repro.exceptions import SolverError
-from repro.graph import forward, inverse
+from repro.graph import forward
 from repro.rpq import parse_c2rpq, parse_uc2rpq
 from repro.workloads import medical
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import ConstructorError, ParseError, TransformationError
 from repro.graph import GraphBuilder
-from repro.rpq import Atom, C2RPQ, edge, node, parse_c2rpq
+from repro.rpq import parse_c2rpq
 from repro.schema import conforms
 from repro.transform import (
     ConstructedNode,

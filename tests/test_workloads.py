@@ -1,6 +1,5 @@
 """Tests for the packaged workloads (medical, FHIR, social, synthetic)."""
 
-import pytest
 
 from repro.schema import conforms
 from repro.containment import schema_has_finmod_cycle
