@@ -11,7 +11,10 @@ Four subcommands over the library's hot paths:
   (``serial``/``thread``/``process``), with JSON timing + cache-stats
   reports;
 * ``bench`` — the same batch across *all* requested backends, asserting
-  fingerprint-identical verdicts and reporting per-backend speedups.
+  fingerprint-identical verdicts and reporting per-backend speedups; with
+  ``--suite automata`` it instead reports the compiled-automaton-core
+  timings (cold vs memoized compilation, enumeration reuse, prefix
+  sharing — harness in :mod:`repro.core.benchmarks`).
 
 Every subcommand accepts ``--json`` (``-`` for stdout, otherwise a path) and
 prints a human summary otherwise.  :func:`main` takes an ``argv`` list and
@@ -220,6 +223,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "automata":
+        return _cmd_bench_automata(args)
+    if args.repeats is not None or args.requests is not None:
+        print(
+            "bench: --repeats/--requests only apply to --suite automata; ignoring",
+            file=sys.stderr,
+        )
     label, schema, pairs = _resolve_batch(args)
     backends = [backend.strip() for backend in args.backends.split(",") if backend.strip()]
     unknown = [backend for backend in backends if backend not in BACKENDS]
@@ -265,6 +275,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     lines.append(f"  verdicts identical across backends: {identical}")
     _emit(report, args.json, "\n".join(lines))
     return 0 if identical else 1
+
+
+def _cmd_bench_automata(args: argparse.Namespace) -> int:
+    """``bench --suite automata`` — the compiled-automaton-core report."""
+    from .core import benchmarks
+
+    ignored = []
+    if args.workload != "medical":
+        ignored.append("--workload")
+    if args.length != 8:
+        ignored.append("--length")
+    if args.spec:
+        ignored.append("--spec")
+    if args.backends != "serial,thread,process":
+        ignored.append("--backends")
+    if args.workers is not None:
+        ignored.append("--workers")
+    if ignored:
+        print(
+            f"bench: {', '.join(ignored)} do(es) not apply to --suite automata "
+            "(it runs a fixed built-in corpus); ignoring",
+            file=sys.stderr,
+        )
+    report = benchmarks.run_report(
+        repeats=args.repeats if args.repeats is not None else 5,
+        requests=args.requests if args.requests is not None else 50,
+    )
+    _emit(report, args.json, benchmarks.summary(report))
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -342,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="compare backends on one workload, assert identical verdicts"
     )
     _add_workload_arguments(bench)
+    bench.add_argument(
+        "--suite",
+        choices=("backends", "automata"),
+        default="backends",
+        help=(
+            "benchmark suite: 'backends' compares execution backends on a workload, "
+            "'automata' reports the compiled-automaton-core timings (default: backends)"
+        ),
+    )
     bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
     bench.add_argument(
         "--backends",
@@ -349,6 +397,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated backends to compare (default: serial,thread,process)",
     )
     bench.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="automata suite: timing repetitions per measurement (default: 5)",
+    )
+    bench.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="automata suite: word-list requests per regex in the enumeration timing (default: 50)",
+    )
     _add_report_argument(bench)
     bench.set_defaults(handler=_cmd_bench)
 

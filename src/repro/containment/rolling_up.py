@@ -28,10 +28,10 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core import compile_regex
 from ..dl.concepts import ForAllCI, SubclassOf, SubclassOfBottom, conj
 from ..dl.tbox import TBox
 from ..exceptions import AcyclicityError, QueryError
-from ..rpq.automaton import build_nfa
 from ..rpq.queries import Atom, C2RPQ, UC2RPQ, Variable
 from ..rpq.regex import EdgeStep, NodeTest
 
@@ -218,7 +218,16 @@ def _roll_up_component(component: C2RPQ, names: _NameSource) -> Tuple[List, Set[
                 regex = atom.regex
             else:
                 regex = atom.regex.reverse()
-            nfa = build_nfa(regex)
+            # the memoized compilation returns build_nfa(regex) verbatim, so
+            # the state numbering — and with it the fresh concept names the
+            # simulation mints below — is exactly the pre-core one.  The
+            # default intern context is deliberate: this Lemma C.2 code path
+            # only reads the NFA and the emptiness flag (never a DFA), and
+            # threading schema identity in here would buy nothing — at worst
+            # a regex also compiled under a schema context occupies two memo
+            # entries
+            automaton = compile_regex(regex)
+            nfa = automaton.nfa
             accept = names.accept(index)
             accept_marker[index] = accept
             fresh.add(accept)
@@ -238,7 +247,7 @@ def _roll_up_component(component: C2RPQ, names: _NameSource) -> Tuple[List, Set[
                     )
             for final in nfa.final:
                 statements.append(SubclassOf(conj(state_name[final]), accept))
-            if nfa.is_empty_language():
+            if automaton.is_empty():
                 # the atom can never be witnessed: the component never matches
                 return [], fresh
 

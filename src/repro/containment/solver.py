@@ -20,7 +20,7 @@ short; see docs/ARCHITECTURE.md, stage 5 "Chase").
 The expensive stages of the pipeline are factored into overridable hook
 methods (:meth:`ContainmentSolver._schema_tbox`,
 :meth:`ContainmentSolver._prepared_choices`,
-:meth:`ContainmentSolver._build_nfa`) so that :class:`repro.engine.ContainmentEngine`
+:meth:`ContainmentSolver._compile_automaton`) so that :class:`repro.engine.ContainmentEngine`
 can substitute cached artefacts without duplicating the decision procedure;
 the module-level :func:`contains` wrapper routes through the shared default
 engine and therefore benefits from those caches automatically.
@@ -31,15 +31,15 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..chase.engine import ChaseEngine
 from ..chase.solver import SatisfiabilityConfig, build_pattern
+from ..core import CompiledAutomaton, PrefixPruner, compile_regex
 from ..dl.schema_tbox import schema_to_extended_tbox
 from ..dl.tbox import TBox
 from ..exceptions import AcyclicityError, QueryError
 from ..graph.graph import Graph, NodeId
-from ..rpq.automaton import build_nfa
 from ..rpq.queries import C2RPQ, UC2RPQ
 from ..rpq.regex import Symbol
 from ..schema.schema import Schema
@@ -104,6 +104,7 @@ class ContainmentSolver:
     def __init__(self, schema: Schema, config: Optional[ContainmentConfig] = None) -> None:
         self.schema = schema
         self.config = config or ContainmentConfig()
+        self._intern_context: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -229,9 +230,40 @@ class ContainmentSolver:
             prepared.append((choice_completion, ChaseEngine(choice_completion.tbox)))
         return prepared
 
+    def _compile_automaton(self, regex) -> CompiledAutomaton:
+        """Stage 5 prerequisite — compile one atom regex (cacheable).
+
+        Returns the :class:`repro.core.CompiledAutomaton` bundle (NFA, lazy
+        minimal DFA, cycle/emptiness flags, memoized pumped word lists);
+        symbols intern into the table of this solver's schema fingerprint.
+        :class:`repro.engine.ContainmentEngine` overrides this to serve the
+        bundle from its automaton cache.  Subclasses that still override the
+        legacy :meth:`_build_nfa` hook are honoured: their NFA is wrapped in
+        an (unmemoized) bundle, so custom automaton substitution keeps
+        working across the core refactor.
+        """
+        if self._intern_context is None:
+            self._intern_context = self.schema.canonical_fingerprint()
+        compiled = compile_regex(regex, self._intern_context)
+        if type(self)._build_nfa is not ContainmentSolver._build_nfa:
+            nfa = self._build_nfa(regex)
+            if nfa is not compiled.nfa:
+                return CompiledAutomaton(regex, self._intern_context, nfa=nfa)
+        return compiled
+
     def _build_nfa(self, regex):
-        """Stage 5 prerequisite — compile one atom regex to an NFA (cacheable)."""
-        return build_nfa(regex)
+        """Deprecated stage-5 hook — kept for subclasses of the pre-core API.
+
+        The pipeline now routes through :meth:`_compile_automaton`, which
+        detects an overridden ``_build_nfa`` and wraps the override's NFA,
+        so old subclasses keep observing (and substituting) the automaton
+        construction.  The default resolves through the same compile memo —
+        deliberately not via :meth:`_compile_automaton`, so an override
+        calling ``super()._build_nfa(...)`` cannot recurse.
+        """
+        if self._intern_context is None:
+            self._intern_context = self.schema.canonical_fingerprint()
+        return compile_regex(regex, self._intern_context).nfa
 
     # ------------------------------------------------------------------ #
     # satisfiability of the reduced left-hand side
@@ -243,19 +275,17 @@ class ContainmentSolver:
         regime = "exact"
         patterns_checked = 0
         for disjunct in left:
-            word_lists: List[List[Tuple[Symbol, ...]]] = []
+            word_lists: List[Tuple[Tuple[Symbol, ...], ...]] = []
             empty_atom = False
             for atom in disjunct.atoms:
-                nfa = self._build_nfa(atom.regex)
-                words = list(
-                    nfa.enumerate_words(
-                        max_length=config.max_word_length,
-                        max_state_repeats=config.max_state_repeats,
-                        max_words=config.max_words_per_atom,
-                    )
+                automaton = self._compile_automaton(atom.regex)
+                words = automaton.words(
+                    max_length=config.max_word_length,
+                    max_state_repeats=config.max_state_repeats,
+                    max_words=config.max_words_per_atom,
                 )
                 if not words:
-                    if not nfa.is_empty_language():
+                    if not automaton.is_empty():
                         regime = _weakest(regime, "truncated")
                     empty_atom = True
                     break
@@ -263,22 +293,39 @@ class ContainmentSolver:
                     len(word) >= config.max_word_length for word in words
                 ):
                     regime = _weakest(regime, "truncated")
-                elif _has_cycle(nfa):
+                elif automaton.has_productive_cycle():
                     regime = _weakest(regime, "pumped")
                 word_lists.append(words)
             if empty_atom:
                 continue
             if not disjunct.atoms:
                 word_lists = []
+            atoms = list(disjunct.atoms)
+            # prefix sharing (see repro.core.prefix): an inconsistent prefix
+            # pattern refutes its whole subtree of combinations, so those are
+            # counted — label branching included — without being chased
+            pruner: Optional[PrefixPruner] = None
+            if config.share_prefixes and len(atoms) >= 2:
+                pruner = PrefixPruner(
+                    atoms,
+                    word_lists,
+                    build_pattern,
+                    lambda graph: engine.check_pattern(graph).consistent,
+                )
+                if not pruner.useful:
+                    pruner = None
             combinations = itertools.product(*word_lists) if word_lists else iter([()])
             for combination in combinations:
                 if patterns_checked >= config.max_patterns:
                     regime = _weakest(regime, "truncated")
                     break
-                base_pattern, assignment = build_pattern(list(disjunct.atoms), list(combination))
+                base_pattern, assignment = build_pattern(atoms, list(combination))
                 if not disjunct.atoms:
                     base_pattern = Graph()
                     base_pattern.add_node("n0")
+                if pruner is not None and pruner.prunes(combination):
+                    patterns_checked += self._count_label_assignments(base_pattern, schema)
+                    continue
                 for labelled in self._label_assignments(base_pattern, schema):
                     patterns_checked += 1
                     chase = engine.check_pattern(labelled, assignment)
@@ -286,21 +333,20 @@ class ContainmentSolver:
                         return True, regime, chase.pattern, patterns_checked
         return False, regime, None, patterns_checked
 
-    def _label_assignments(self, pattern: Graph, schema: Schema) -> Iterator[Graph]:
-        """Assign a schema label to every pattern node that lacks one.
+    def _label_candidates(
+        self, pattern: Graph, schema: Schema
+    ) -> Optional[Tuple[List[NodeId], List[List[str]]]]:
+        """The unlabeled nodes and their locally compatible schema labels.
 
-        Branches over the locally compatible labels of each unlabeled node;
-        this enforces the "at least one label per node" part of conformance
-        (the non-Horn statement ``⊤ ⊑ ⊔Γ_S``).
+        ``None`` when some node admits no label at all (the pattern has no
+        conforming labelling).  Shared by :meth:`_label_assignments` and the
+        prefix-pruned counting path, which must agree exactly.
         """
         unlabeled = [
             node
             for node in sorted(pattern.nodes(), key=repr)
             if not (pattern.labels(node) & schema.node_labels)
         ]
-        if not unlabeled:
-            yield pattern
-            return
         candidate_lists: List[List[str]] = []
         for node in unlabeled:
             candidates = [
@@ -309,8 +355,44 @@ class ContainmentSolver:
                 if self._locally_compatible(pattern, schema, node, label)
             ]
             if not candidates:
-                return  # no conforming labelling exists for this pattern
+                return None  # no conforming labelling exists for this pattern
             candidate_lists.append(candidates)
+        return unlabeled, candidate_lists
+
+    def _count_label_assignments(self, pattern: Graph, schema: Schema) -> int:
+        """How many labelled patterns :meth:`_label_assignments` would yield.
+
+        Used when a word-prefix already refutes the pattern: the subtree is
+        skipped but the counter must advance exactly as if every labelled
+        variant had been chased.
+        """
+        candidates = self._label_candidates(pattern, schema)
+        if candidates is None:
+            return 0
+        unlabeled, candidate_lists = candidates
+        if not unlabeled:
+            return 1
+        total = 1
+        for options in candidate_lists:
+            total *= len(options)
+            if total >= self.config.max_label_assignments:
+                return self.config.max_label_assignments
+        return total
+
+    def _label_assignments(self, pattern: Graph, schema: Schema) -> Iterator[Graph]:
+        """Assign a schema label to every pattern node that lacks one.
+
+        Branches over the locally compatible labels of each unlabeled node;
+        this enforces the "at least one label per node" part of conformance
+        (the non-Horn statement ``⊤ ⊑ ⊔Γ_S``).
+        """
+        candidates = self._label_candidates(pattern, schema)
+        if candidates is None:
+            return
+        unlabeled, candidate_lists = candidates
+        if not unlabeled:
+            yield pattern
+            return
         emitted = 0
         for choice in itertools.product(*candidate_lists):
             if emitted >= self.config.max_label_assignments:
@@ -353,22 +435,6 @@ def _as_union(query, default_name: str) -> UC2RPQ:
 def _weakest(left: str, right: str) -> str:
     order = {"exact": 0, "pumped": 1, "truncated": 2}
     return left if order[left] >= order[right] else right
-
-
-def _has_cycle(nfa) -> bool:
-    colour: Dict[int, int] = {}
-
-    def dfs(state: int) -> bool:
-        colour[state] = 1
-        for _, target in nfa.transitions_from(state):
-            if colour.get(target, 0) == 1:
-                return True
-            if colour.get(target, 0) == 0 and dfs(target):
-                return True
-        colour[state] = 2
-        return False
-
-    return any(dfs(state) for state in nfa.states if colour.get(state, 0) == 0)
 
 
 def contains(

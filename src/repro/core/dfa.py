@@ -1,0 +1,436 @@
+"""Deterministic finite automata over interned symbols.
+
+A :class:`DFA` is the compiled, canonicalisable form of a two-way regular
+expression's automaton: states are dense ints, letters are
+:class:`~repro.core.interning.SymbolTable` ids, and the transition function
+is a tuple of per-state ``dict[int, int]`` maps (partial — a missing entry
+is the dead sink).  Everything that needs a deterministic result across
+processes iterates symbols by their canonical *sort key*, never by the
+arrival-order id, so subset construction, minimisation and witness searches
+produce identical automata on every machine.
+
+Provided operations: :func:`determinize` (NFA → DFA), :meth:`DFA.minimize`
+(Moore partition refinement plus trimming), :meth:`DFA.complement`,
+:meth:`DFA.product` (intersection/union), :meth:`DFA.is_empty`,
+:meth:`DFA.shortest_witness`, :meth:`DFA.enumerate_words` (deterministic,
+duplicate-free language enumeration) and :meth:`DFA.equivalent`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..rpq.regex import Symbol
+from .interning import SymbolTable, symbol_table
+
+__all__ = ["DFA", "determinize"]
+
+_DEAD = -1  # the implicit sink class used during minimisation
+
+
+class DFA:
+    """A deterministic automaton over interned symbols (partial δ, sink implicit)."""
+
+    __slots__ = ("table", "num_states", "initial", "final", "_delta")
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        num_states: int,
+        initial: int,
+        final: Iterable[int],
+        transitions: Iterable[Tuple[int, int, int]],
+    ) -> None:
+        if not 0 <= initial < max(num_states, 1):
+            raise ValueError(f"initial state {initial} out of range for {num_states} states")
+        self.table = table
+        self.num_states = num_states
+        self.initial = initial
+        self.final: FrozenSet[int] = frozenset(final)
+        delta: List[Dict[int, int]] = [{} for _ in range(num_states)]
+        for source, symbol_id, target in transitions:
+            existing = delta[source].get(symbol_id)
+            if existing is not None and existing != target:
+                raise ValueError(
+                    f"nondeterministic transition: state {source} reads symbol "
+                    f"{symbol_id} into both {existing} and {target}"
+                )
+            delta[source][symbol_id] = target
+        self._delta: Tuple[Dict[int, int], ...] = tuple(delta)
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+    def successor(self, state: int, symbol_id: int) -> Optional[int]:
+        """δ(state, symbol) — ``None`` means the dead sink."""
+        return self._delta[state].get(symbol_id)
+
+    def transitions(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over all ``(source, symbol id, target)`` transitions."""
+        for source, row in enumerate(self._delta):
+            for symbol_id, target in row.items():
+                yield source, symbol_id, target
+
+    def alphabet_ids(self) -> Tuple[int, ...]:
+        """Ids labelling at least one transition, in canonical-key order."""
+        used = {symbol_id for row in self._delta for symbol_id in row}
+        return tuple(sorted(used, key=self.table.sort_key))
+
+    def state_count(self) -> int:
+        return self.num_states
+
+    def transition_count(self) -> int:
+        return sum(len(row) for row in self._delta)
+
+    def accepts_ids(self, ids: Sequence[int]) -> bool:
+        state: Optional[int] = self.initial
+        for symbol_id in ids:
+            state = self._delta[state].get(symbol_id)
+            if state is None:
+                return False
+        return state in self.final
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """``True`` when the automaton accepts the given symbol word."""
+        ids = []
+        for symbol in word:
+            symbol_id = self.table.known(symbol)
+            if symbol_id is None:
+                return False  # a letter the automaton has never seen
+            ids.append(symbol_id)
+        return self.accepts_ids(ids)
+
+    def accepts_epsilon(self) -> bool:
+        return self.initial in self.final
+
+    # ------------------------------------------------------------------ #
+    # language queries
+    # ------------------------------------------------------------------ #
+    def is_empty(self) -> bool:
+        """``True`` when no word at all is accepted."""
+        return self.shortest_witness_ids() is None
+
+    def shortest_witness_ids(self) -> Optional[Tuple[int, ...]]:
+        """One shortest accepted word as an id tuple (``None`` when empty).
+
+        BFS from the initial state; ties are broken by the canonical symbol
+        order, so the witness is deterministic across processes.
+        """
+        if self.initial in self.final:
+            return ()
+        sort_key = self.table.sort_key
+        parents: Dict[int, Tuple[int, int]] = {}
+        visited = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            next_frontier: List[int] = []
+            for state in frontier:
+                row = self._delta[state]
+                for symbol_id in sorted(row, key=sort_key):
+                    target = row[symbol_id]
+                    if target in visited:
+                        continue
+                    visited.add(target)
+                    parents[target] = (state, symbol_id)
+                    if target in self.final:
+                        word: List[int] = []
+                        current = target
+                        while current in parents:  # the initial state has no parent
+                            current, via = parents[current]
+                            word.append(via)
+                        word.reverse()
+                        return tuple(word)
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return None
+
+    def shortest_witness(self) -> Optional[Tuple[Symbol, ...]]:
+        """One shortest accepted word as symbols (``None`` when empty)."""
+        ids = self.shortest_witness_ids()
+        return None if ids is None else self.table.word(ids)
+
+    def enumerate_words(
+        self, max_length: int = 12, max_words: int = 10_000
+    ) -> Iterator[Tuple[Symbol, ...]]:
+        """Enumerate accepted words by non-decreasing length, canonical order.
+
+        Determinism makes duplicates impossible by construction — every word
+        has exactly one run — so, unlike the NFA enumerator, no seen-set is
+        needed.  Intended for language inspection and tests; the solvers keep
+        enumerating over the NFA, whose pumped normal form is the
+        completeness bound (see ``docs/ARCHITECTURE.md``).
+        """
+        if max_words <= 0:
+            return
+        sort_key = self.table.sort_key
+        emitted = 0
+        if self.accepts_epsilon():
+            emitted += 1
+            yield ()
+            if emitted >= max_words:
+                return
+        # distance from each state to the nearest final state (reverse BFS):
+        # a path is only extended while it can still reach acceptance within
+        # the length budget, so search work tracks the emitted words instead
+        # of every path of the (possibly exponential) unpruned tree
+        predecessors: Dict[int, List[int]] = {}
+        for source, _, target in self.transitions():
+            predecessors.setdefault(target, []).append(source)
+        to_final: Dict[int, int] = {state: 0 for state in self.final}
+        wave = list(self.final)
+        distance = 0
+        while wave:
+            distance += 1
+            next_wave: List[int] = []
+            for state in wave:
+                for source in predecessors.get(state, ()):
+                    if source not in to_final:
+                        to_final[source] = distance
+                        next_wave.append(source)
+            wave = next_wave
+        frontier: List[Tuple[int, Tuple[Symbol, ...]]] = [(self.initial, ())]
+        length = 0
+        while frontier and length < max_length and emitted < max_words:
+            length += 1
+            budget = max_length - length
+            next_frontier: List[Tuple[int, Tuple[Symbol, ...]]] = []
+            for state, word in frontier:
+                row = self._delta[state]
+                for symbol_id in sorted(row, key=sort_key):
+                    target = row[symbol_id]
+                    remaining = to_final.get(target)
+                    if remaining is None or remaining > budget:
+                        continue  # acceptance is out of reach down this path
+                    extended = word + (self.table.symbol(symbol_id),)
+                    if target in self.final:
+                        emitted += 1
+                        yield extended
+                        if emitted >= max_words:
+                            return
+                    if remaining == 0 and budget == 0:
+                        continue
+                    next_frontier.append((target, extended))
+            frontier = next_frontier
+
+    # ------------------------------------------------------------------ #
+    # boolean operations
+    # ------------------------------------------------------------------ #
+    def complement(self, alphabet_ids: Optional[Iterable[int]] = None) -> "DFA":
+        """The automaton for the complement language over *alphabet_ids*.
+
+        Complement is alphabet-relative; the default is this automaton's own
+        alphabet.  The result is total over the chosen alphabet (the sink
+        becomes an explicit, accepting state).
+        """
+        alphabet = tuple(alphabet_ids) if alphabet_ids is not None else self.alphabet_ids()
+        sink = self.num_states
+        transitions: List[Tuple[int, int, int]] = []
+        for state in range(self.num_states):
+            row = self._delta[state]
+            for symbol_id in alphabet:
+                transitions.append((state, symbol_id, row.get(symbol_id, sink)))
+        for symbol_id in alphabet:
+            transitions.append((sink, symbol_id, sink))
+        final = [state for state in range(self.num_states + 1) if state not in self.final]
+        return DFA(self.table, self.num_states + 1, self.initial, final, transitions)
+
+    def product(self, other: "DFA", mode: str = "intersection") -> "DFA":
+        """The product automaton for intersection or union of the languages.
+
+        Both operands must share a symbol table.  Only the reachable part of
+        the product is built.  For ``union`` the operands are implicitly
+        totalised over the joint alphabet (the missing-transition sink of one
+        side must not kill the other side's acceptance).
+        """
+        if other.table is not self.table:
+            raise ValueError("product requires both automata to share one symbol table")
+        if mode not in ("intersection", "union"):
+            raise ValueError(f"unknown product mode {mode!r}")
+        alphabet = tuple(
+            sorted(set(self.alphabet_ids()) | set(other.alphabet_ids()), key=self.table.sort_key)
+        )
+
+        def accepting(left: Optional[int], right: Optional[int]) -> bool:
+            in_left = left in self.final
+            in_right = right in other.final
+            return (in_left and in_right) if mode == "intersection" else (in_left or in_right)
+
+        start = (self.initial, other.initial)
+        numbering: Dict[Tuple[Optional[int], Optional[int]], int] = {start: 0}
+        order: List[Tuple[Optional[int], Optional[int]]] = [start]
+        transitions: List[Tuple[int, int, int]] = []
+        index = 0
+        while index < len(order):
+            left, right = order[index]
+            for symbol_id in alphabet:
+                next_left = self._delta[left].get(symbol_id) if left is not None else None
+                next_right = other._delta[right].get(symbol_id) if right is not None else None
+                if mode == "intersection" and (next_left is None or next_right is None):
+                    continue
+                if next_left is None and next_right is None:
+                    continue
+                pair = (next_left, next_right)
+                target = numbering.get(pair)
+                if target is None:
+                    target = len(order)
+                    numbering[pair] = target
+                    order.append(pair)
+                transitions.append((index, symbol_id, target))
+            index += 1
+        final = [numbering[pair] for pair in order if accepting(*pair)]
+        return DFA(self.table, len(order), 0, final, transitions)
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality, decided via symmetric-difference emptiness."""
+        alphabet = tuple(
+            sorted(set(self.alphabet_ids()) | set(other.alphabet_ids()), key=self.table.sort_key)
+        )
+        return (
+            self.product(other.complement(alphabet), "intersection").is_empty()
+            and other.product(self.complement(alphabet), "intersection").is_empty()
+        )
+
+    # ------------------------------------------------------------------ #
+    # canonicalisation
+    # ------------------------------------------------------------------ #
+    def trim(self) -> "DFA":
+        """Restrict to states on some initial → final path (initial kept)."""
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for target in self._delta[state].values():
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        predecessors: Dict[int, List[int]] = {}
+        for source, _, target in self.transitions():
+            predecessors.setdefault(target, []).append(source)
+        productive = set(self.final)
+        frontier = list(self.final)
+        while frontier:
+            state = frontier.pop()
+            for source in predecessors.get(state, ()):
+                if source not in productive:
+                    productive.add(source)
+                    frontier.append(source)
+        useful = reachable & productive
+        useful.add(self.initial)
+        renumber = {state: index for index, state in enumerate(sorted(useful))}
+        transitions = [
+            (renumber[s], symbol_id, renumber[t])
+            for s, symbol_id, t in self.transitions()
+            if s in useful and t in useful
+        ]
+        return DFA(
+            self.table,
+            len(useful),
+            renumber[self.initial],
+            [renumber[s] for s in self.final if s in useful],
+            transitions,
+        )
+
+    def minimize(self) -> "DFA":
+        """The minimal trimmed DFA for the language (Moore partition refinement).
+
+        The implicit dead sink is one block throughout, so the input need not
+        be total; the result is again partial (dead transitions dropped) with
+        states renumbered in canonical BFS order from the initial state.
+        """
+        trimmed = self.trim()
+        alphabet = trimmed.alphabet_ids()
+        # initial partition: final vs non-final (the sink lives in class _DEAD)
+        classes = [1 if state in trimmed.final else 0 for state in range(trimmed.num_states)]
+        while True:
+            signatures: Dict[Tuple, int] = {}
+            next_classes = [0] * trimmed.num_states
+            for state in range(trimmed.num_states):
+                row = trimmed._delta[state]
+                signature = (
+                    classes[state],
+                    tuple(
+                        classes[row[symbol_id]] if symbol_id in row else _DEAD
+                        for symbol_id in alphabet
+                    ),
+                )
+                block = signatures.setdefault(signature, len(signatures))
+                next_classes[state] = block
+            if next_classes == classes:
+                break
+            classes = next_classes
+
+        # canonical numbering: BFS from the initial class in symbol-key order
+        representative: Dict[int, int] = {}
+        for state in range(trimmed.num_states):
+            representative.setdefault(classes[state], state)
+        numbering = {classes[trimmed.initial]: 0}
+        order = [classes[trimmed.initial]]
+        transitions: List[Tuple[int, int, int]] = []
+        index = 0
+        while index < len(order):
+            block = order[index]
+            row = trimmed._delta[representative[block]]
+            for symbol_id in alphabet:
+                if symbol_id not in row:
+                    continue
+                target_block = classes[row[symbol_id]]
+                target = numbering.get(target_block)
+                if target is None:
+                    target = len(order)
+                    numbering[target_block] = target
+                    order.append(target_block)
+                transitions.append((index, symbol_id, target))
+            index += 1
+        final = {
+            numbering[classes[state]]
+            for state in trimmed.final
+            if classes[state] in numbering
+        }
+        return DFA(self.table, len(order), 0, final, transitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DFA(states={self.num_states}, final={sorted(self.final)}, "
+            f"transitions={self.transition_count()})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# NFA → DFA
+# --------------------------------------------------------------------------- #
+def determinize(nfa, table: Optional[SymbolTable] = None) -> DFA:
+    """Subset-construct a :class:`DFA` from an ε-free NFA.
+
+    Only reachable subsets are materialised, discovered in BFS order with
+    symbols iterated by canonical key — the resulting state numbering is a
+    pure function of the NFA, identical in every process.
+    """
+    # explicit None check: a fresh (empty) SymbolTable is falsy via __len__
+    if table is None:
+        table = symbol_table()
+    alphabet: List[Tuple[str, Symbol, int]] = []
+    for symbol in nfa.alphabet():
+        symbol_id = table.intern(symbol)
+        alphabet.append((table.sort_key(symbol_id), symbol, symbol_id))
+    alphabet.sort(key=lambda entry: entry[0])
+
+    start = frozenset(nfa.initial)
+    numbering: Dict[FrozenSet[int], int] = {start: 0}
+    order: List[FrozenSet[int]] = [start]
+    transitions: List[Tuple[int, int, int]] = []
+    index = 0
+    while index < len(order):
+        subset = order[index]
+        for _, symbol, symbol_id in alphabet:
+            successor = nfa.step(subset, symbol)
+            if not successor:
+                continue
+            target = numbering.get(successor)
+            if target is None:
+                target = len(order)
+                numbering[successor] = target
+                order.append(successor)
+            transitions.append((index, symbol_id, target))
+        index += 1
+    final = [numbering[subset] for subset in order if subset & nfa.final]
+    return DFA(table, len(order), 0, final, transitions)

@@ -1,0 +1,92 @@
+"""Prefix-sharing over witness-pattern enumeration.
+
+The Theorem 6.1 solvers enumerate the *product* of per-atom word lists and
+chase one materialised pattern per combination.  Combinations sharing a
+prefix — the same words for the first ``k`` atoms — share the sub-pattern
+those atoms materialise, and the chase is *monotone under homomorphisms*: a
+pattern with a homomorphism into another pattern is consistent whenever the
+larger one is (compose the homomorphisms into the model).  The prefix
+pattern maps homomorphically into every full pattern extending it (later
+atoms only add nodes, edges and labels, and merge variables — a quotient),
+so **an inconsistent prefix refutes its entire subtree of combinations**.
+
+:class:`PrefixPruner` exploits exactly that: it chases each distinct prefix
+once (memoized — this is the incremental chase state shared across the
+subtree) and lets the enumeration skip the chase for every combination below
+an inconsistent prefix.  Pruning is verdict- and count-preserving by
+construction: a pruned combination is one the full chase would have found
+inconsistent anyway, so callers keep their pattern counters, regimes, result
+order and witnesses bit-identical to the unpruned enumeration — only the
+wasted chases disappear.
+
+The pruner is deliberately dependency-free (the chase and pattern builder
+arrive as callables) so it sits below both solver layers without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["PrefixPruner"]
+
+
+class PrefixPruner:
+    """Memoized prefix-inconsistency pruning for per-atom word combinations.
+
+    ``build(atoms, words)`` materialises a pattern for a word choice over a
+    prefix of the atoms (returning ``(graph, assignment)``) and
+    ``check(graph)`` chases it, returning ``True`` for consistent.  Both are
+    only ever called on *proper* prefixes — the full combination stays the
+    caller's business.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence,
+        word_lists: Sequence[Sequence],
+        build: Callable,
+        check: Callable,
+    ) -> None:
+        self.atoms = list(atoms)
+        self.build = build
+        self.check = check
+        self._verdicts: Dict[Tuple, bool] = {}
+        # A prefix of length k is only worth chasing when it fronts more than
+        # one combination; suffix_products[k] counts the combinations below it.
+        count = len(self.atoms)
+        suffix_products = [1] * (count + 1)
+        for position in range(count - 1, -1, -1):
+            suffix_products[position] = suffix_products[position + 1] * max(
+                len(word_lists[position]), 1
+            )
+        self.levels: List[int] = [
+            k for k in range(1, count) if suffix_products[k] > 1
+        ]
+        self.prefix_chases = 0
+        self.pruned = 0
+
+    @property
+    def useful(self) -> bool:
+        """``False`` when no proper prefix fronts more than one combination."""
+        return bool(self.levels)
+
+    def prunes(self, combination: Sequence) -> bool:
+        """``True`` when some proper prefix of *combination* is inconsistent.
+
+        Each distinct prefix is chased at most once across the whole
+        enumeration; deeper prefixes are only examined while the shallower
+        ones are consistent.
+        """
+        for k in self.levels:
+            prefix = tuple(combination[:k])
+            verdict = self._verdicts.get(prefix)
+            if verdict is None:
+                graph, _ = self.build(self.atoms[:k], list(prefix))
+                self.prefix_chases += 1
+                verdict = bool(self.check(graph))
+                self._verdicts[prefix] = verdict
+            if not verdict:
+                self.pruned += 1
+                return True
+        return False

@@ -4,7 +4,7 @@ The subsystem behind every hot static-analysis path (see
 docs/ARCHITECTURE.md, "The cached containment engine"):
 
 * :class:`ContainmentEngine` — owns the fingerprint-keyed caches (verdicts,
-  completions + chase engines, schema TBox encodings, compiled NFAs) and the
+  completions + chase engines, schema TBox encodings, compiled automata) and the
   ``check_many`` batch API with serial/thread/process backends;
 * :class:`ContainmentRequest` — one ``(left, right, schema, config)`` unit of
   work for a batch;

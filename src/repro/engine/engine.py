@@ -5,7 +5,7 @@ and schema elicitation — reduces to *many* containment tests modulo the same
 schema (Theorem 4.2's polynomial Turing reduction).  A bare
 :class:`~repro.containment.solver.ContainmentSolver` rebuilds the schema
 encoding ``T̂_S``, the rolled-up ``T_¬Q``, the cycle-reversal completion and
-the atom NFAs from scratch on every call; the :class:`ContainmentEngine`
+the compiled atom automata from scratch on every call; the :class:`ContainmentEngine`
 owns those artefacts in per-schema caches keyed by canonical fingerprints
 (:meth:`Schema.canonical_fingerprint`, :meth:`UC2RPQ.canonical_token`, the
 regex tokens) and substitutes them through the solver's pipeline hooks, so
@@ -23,7 +23,13 @@ composition and invalidation rules):
   chase engines (whose tree-extendability memos stay warm) per
   ``(extended schema, right query, completion config)``;
 * **schema-tboxes** — the Horn encoding ``T̂_S`` per extended schema;
-* **nfas** — compiled atom automata per regular expression.
+* **automata** — :class:`repro.core.CompiledAutomaton` bundles (NFA, lazy
+  minimal DFA, cycle/emptiness flags, memoized pumped word lists) keyed by
+  ``(schema intern context, regex)``.  This cache *fronts* the process-wide
+  :func:`repro.core.compile_regex` memo (which shares bundles across engines
+  and rebuilds them in worker processes): its hit/miss stats measure
+  engine-level reuse, while the memory bound for compiled bundles is the
+  memo's — ``repro.core.clear_compile_memo()`` is the cold-path reset.
 
 Because all keys are content fingerprints, mutating a schema or query after a
 call can never make the caches return stale answers — a mutated object simply
@@ -40,6 +46,7 @@ import hashlib
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -85,7 +92,7 @@ class EngineStats:
     results: CacheStats
     completions: CacheStats
     schema_tboxes: CacheStats
-    nfas: CacheStats
+    automata: CacheStats
     contains_calls: int = 0
     batches: int = 0
 
@@ -96,7 +103,7 @@ class EngineStats:
             "batches": self.batches,
             "caches": {
                 stats.name: stats.as_dict()
-                for stats in (self.results, self.completions, self.schema_tboxes, self.nfas)
+                for stats in (self.results, self.completions, self.schema_tboxes, self.automata)
             },
         }
 
@@ -105,7 +112,7 @@ class EngineStats:
         lines = [f"engine: {self.contains_calls} containment calls, {self.batches} batches"]
         lines.extend(
             f"  {stats}"
-            for stats in (self.results, self.completions, self.schema_tboxes, self.nfas)
+            for stats in (self.results, self.completions, self.schema_tboxes, self.automata)
         )
         return "\n".join(lines)
 
@@ -213,14 +220,20 @@ class _CachingSolver(ContainmentSolver):
                 engine._completions.put(key, cached)
         return cached
 
-    def _build_nfa(self, regex):
+    def _compile_automaton(self, regex):
         engine = self.engine
+        # key by (intern context, regex) like the core memo: a bundle is
+        # pinned to its schema's symbol table, so one engine serving several
+        # schemas must not hand schema A's bundle to schema B's solver
+        if self._intern_context is None:
+            self._intern_context = self.schema.canonical_fingerprint()
+        key = (self._intern_context, regex)
         with engine._lock:
-            cached = engine._nfas.get(regex)
+            cached = engine._automata.get(key)
         if cached is None:
-            cached = super()._build_nfa(regex)
+            cached = super()._compile_automaton(regex)
             with engine._lock:
-                engine._nfas.put(regex, cached)
+                engine._automata.put(key, cached)
         return cached
 
 
@@ -241,16 +254,25 @@ class ContainmentEngine:
         result_cache_size: int = 4096,
         completion_cache_size: int = 512,
         schema_tbox_cache_size: int = 128,
-        nfa_cache_size: int = 4096,
+        automaton_cache_size: int = 4096,
         max_workers: Optional[int] = None,
+        nfa_cache_size: Optional[int] = None,
     ) -> None:
+        if nfa_cache_size is not None:
+            warnings.warn(
+                "nfa_cache_size is deprecated; use automaton_cache_size "
+                "(the cache now holds repro.core.CompiledAutomaton bundles)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            automaton_cache_size = nfa_cache_size
         self.default_config = config or ContainmentConfig()
         self.max_workers = max_workers
         self._lock = threading.RLock()
         self._results = LRUCache("results", result_cache_size)
         self._completions = LRUCache("completions", completion_cache_size)
         self._schema_tboxes = LRUCache("schema-tboxes", schema_tbox_cache_size)
-        self._nfas = LRUCache("nfas", nfa_cache_size)
+        self._automata = LRUCache("automata", automaton_cache_size)
         self._contains_calls = 0
         self._batches = 0
         self._process_pool: Optional[Any] = None
@@ -450,7 +472,7 @@ class ContainmentEngine:
                 results=self._results.stats.snapshot(),
                 completions=self._completions.stats.snapshot(),
                 schema_tboxes=self._schema_tboxes.stats.snapshot(),
-                nfas=self._nfas.stats.snapshot(),
+                automata=self._automata.stats.snapshot(),
                 contains_calls=self._contains_calls,
                 batches=self._batches,
             )
@@ -462,25 +484,34 @@ class ContainmentEngine:
                 "results": len(self._results),
                 "completions": len(self._completions),
                 "schema-tboxes": len(self._schema_tboxes),
-                "nfas": len(self._nfas),
+                "automata": len(self._automata),
             }
 
     def clear(self) -> None:
-        """Drop every cached artefact (statistics counters are kept)."""
+        """Drop every artefact cached *by this engine* (statistics are kept).
+
+        Compiled automata are additionally memoized process-wide below the
+        engine (``repro.core.compile_regex``); a truly cold automaton path —
+        e.g. for benchmarking — also needs
+        :func:`repro.core.clear_compile_memo`.
+        """
         with self._lock:
-            for cache in (self._results, self._completions, self._schema_tboxes, self._nfas):
+            for cache in (self._results, self._completions, self._schema_tboxes, self._automata):
                 cache.clear()
 
     def invalidate_schema(self, schema: Schema) -> int:
-        """Reclaim the result entries recorded under *schema*'s fingerprint.
+        """Reclaim the result and automaton entries under *schema*'s fingerprint.
 
         Content-keyed caches can never serve stale answers (a mutated schema
         fingerprints to a new key), so this is purely a memory-management
-        call; derived artefacts (encodings, completions) age out via LRU.
-        Returns the number of dropped result entries.
+        call; the remaining derived artefacts (encodings, completions) age
+        out via LRU.  Returns the number of dropped result entries (compiled
+        automata are dropped too but not counted — they are cheap to rebuild
+        through the core memo).
         """
         fingerprint = schema.canonical_fingerprint()
         with self._lock:
+            self._automata.prune(lambda key: key[0] == fingerprint)
             return self._results.prune(lambda key: key[0] == fingerprint)
 
 

@@ -55,6 +55,7 @@ import os
 import queue as queue_module
 import threading
 import traceback
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -294,7 +295,7 @@ def merge_stats(snapshots: Sequence[EngineStats]) -> EngineStats:
         results=_merge_cache_stats("results", [s.results for s in snapshots]),
         completions=_merge_cache_stats("completions", [s.completions for s in snapshots]),
         schema_tboxes=_merge_cache_stats("schema-tboxes", [s.schema_tboxes for s in snapshots]),
-        nfas=_merge_cache_stats("nfas", [s.nfas for s in snapshots]),
+        automata=_merge_cache_stats("automata", [s.automata for s in snapshots]),
         contains_calls=sum(s.contains_calls for s in snapshots),
         batches=sum(s.batches for s in snapshots),
     )
@@ -340,7 +341,7 @@ def _worker_main(worker_id: int, config, cache_sizes: Dict[str, int], inbox, out
         result_cache_size=cache_sizes["results"],
         completion_cache_size=cache_sizes["completions"],
         schema_tbox_cache_size=cache_sizes["schema_tboxes"],
-        nfa_cache_size=cache_sizes["nfas"],
+        automaton_cache_size=cache_sizes["automata"],
     )
     while True:
         message = inbox.get()
@@ -395,16 +396,25 @@ class WorkerPool:
         result_cache_size: int = 4096,
         completion_cache_size: int = 512,
         schema_tbox_cache_size: int = 128,
-        nfa_cache_size: int = 4096,
+        automaton_cache_size: int = 4096,
         start_method: str = "spawn",
+        nfa_cache_size: Optional[int] = None,
     ) -> None:
+        if nfa_cache_size is not None:
+            warnings.warn(
+                "nfa_cache_size is deprecated; use automaton_cache_size "
+                "(the cache now holds repro.core.CompiledAutomaton bundles)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            automaton_cache_size = nfa_cache_size
         self.workers = workers or default_worker_count()
         self.config = config
         self._cache_sizes = {
             "results": result_cache_size,
             "completions": completion_cache_size,
             "schema_tboxes": schema_tbox_cache_size,
-            "nfas": nfa_cache_size,
+            "automata": automaton_cache_size,
         }
         self._context = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()

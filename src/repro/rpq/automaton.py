@@ -18,6 +18,7 @@ for the polynomial-time rolling-up of Lemma C.2).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from .regex import Concat, EdgeStep, EmptyLanguage, Epsilon, NodeTest, Regex, Star, Symbol, Union
@@ -108,6 +109,58 @@ class NFA:
                 reversed_symbol = symbol
             transitions.append((target, reversed_symbol, source))
         return NFA(self.states, self.final, self.initial, transitions)
+
+    def trim(self) -> "NFA":
+        """Remove states that are unreachable from the initial states or cannot
+        reach a final state; renumber densely."""
+        forward_reachable = set(self.initial)
+        frontier = list(self.initial)
+        while frontier:
+            state = frontier.pop()
+            for _, target in self.transitions_from(state):
+                if target not in forward_reachable:
+                    forward_reachable.add(target)
+                    frontier.append(target)
+
+        predecessors: Dict[int, Set[int]] = {}
+        for source, _, target in self.transitions():
+            predecessors.setdefault(target, set()).add(source)
+        backward_reachable = set(self.final)
+        frontier = list(self.final)
+        while frontier:
+            state = frontier.pop()
+            for source in predecessors.get(state, ()):
+                if source not in backward_reachable:
+                    backward_reachable.add(source)
+                    frontier.append(source)
+
+        useful = forward_reachable & backward_reachable
+        if not useful:
+            # empty language: keep a single initial state so the object stays valid
+            return NFA({0}, {0}, set(), [])
+        renumber = {state: index for index, state in enumerate(sorted(useful))}
+        transitions = [
+            (renumber[s], symbol, renumber[t])
+            for s, symbol, t in self.transitions()
+            if s in useful and t in useful
+        ]
+        return NFA(
+            renumber.values(),
+            {renumber[s] for s in self.initial if s in useful},
+            {renumber[s] for s in self.final if s in useful},
+            transitions,
+        )
+
+    def to_dfa(self, table=None):
+        """Compile to a :class:`repro.core.DFA` (subset construction).
+
+        *table* is an optional :class:`repro.core.SymbolTable`; the process
+        default is used otherwise.  Prefer :func:`repro.core.compile_regex`
+        when starting from a regex — it memoizes the whole compilation.
+        """
+        from ..core.dfa import determinize  # deferred: core builds on this module
+
+        return determinize(self, table)
 
     # ------------------------------------------------------------------ #
     # word enumeration (pumped normal form)
@@ -269,46 +322,19 @@ def build_nfa(expr: Regex) -> NFA:
 
     final = {state for state, closure in closures.items() if fragment.end in closure}
     # keep only states reachable from the start to stay small
-    return trim(NFA(range(builder.counter), {fragment.start}, final, transitions))
+    return NFA(range(builder.counter), {fragment.start}, final, transitions).trim()
 
 
-def trim(self: NFA) -> NFA:
-    """Remove states that are unreachable from the initial states or cannot
-    reach a final state; renumber densely."""
-    forward_reachable = set(self.initial)
-    frontier = list(self.initial)
-    while frontier:
-        state = frontier.pop()
-        for _, target in self.transitions_from(state):
-            if target not in forward_reachable:
-                forward_reachable.add(target)
-                frontier.append(target)
+def trim(nfa: NFA) -> NFA:
+    """Deprecated module-level alias for :meth:`NFA.trim`.
 
-    predecessors: Dict[int, Set[int]] = {}
-    for source, _, target in self.transitions():
-        predecessors.setdefault(target, set()).add(source)
-    backward_reachable = set(self.final)
-    frontier = list(self.final)
-    while frontier:
-        state = frontier.pop()
-        for source in predecessors.get(state, ()):
-            if source not in backward_reachable:
-                backward_reachable.add(source)
-                frontier.append(source)
-
-    useful = forward_reachable & backward_reachable
-    if not useful:
-        # empty language: keep a single initial state so the object stays valid
-        return NFA({0}, {0}, set(), [])
-    renumber = {state: index for index, state in enumerate(sorted(useful))}
-    transitions = [
-        (renumber[s], symbol, renumber[t])
-        for s, symbol, t in self.transitions()
-        if s in useful and t in useful
-    ]
-    return NFA(
-        renumber.values(),
-        {renumber[s] for s in self.initial if s in useful},
-        {renumber[s] for s in self.final if s in useful},
-        transitions,
+    Historically this was a free function taking the automaton as ``self``;
+    it is now a proper method.  The alias forwards (with a
+    ``DeprecationWarning``) and will be removed in a future release.
+    """
+    warnings.warn(
+        "repro.rpq.automaton.trim(nfa) is deprecated; call nfa.trim() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return nfa.trim()

@@ -14,9 +14,20 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graph.graph import Graph, NodeId
-from .automaton import NFA, build_nfa
+from .automaton import NFA
 from .queries import Atom, C2RPQ, UC2RPQ, Variable
 from .regex import EdgeStep, NodeTest, Regex, Symbol
+
+
+def _compiled_nfa(regex: Regex) -> NFA:
+    """The memoized NFA for *regex* via the compiled automaton core.
+
+    Imported lazily: :mod:`repro.core` builds on this package, so a
+    module-level import would be circular.
+    """
+    from ..core import compile_regex
+
+    return compile_regex(regex).nfa
 
 __all__ = [
     "eval_regex",
@@ -60,7 +71,7 @@ def eval_regex_from(
     regex: Regex, graph: Graph, sources: Iterable[NodeId], nfa: Optional[NFA] = None
 ) -> Set[Tuple[NodeId, NodeId]]:
     """Evaluate ``[regex]^G`` restricted to the given source nodes."""
-    nfa = nfa or build_nfa(regex)
+    nfa = nfa or _compiled_nfa(regex)
     reachable = _product_reachable(graph, nfa, sources)
     answers: Set[Tuple[NodeId, NodeId]] = set()
     for source, configurations in reachable.items():
@@ -152,7 +163,7 @@ def witnessing_path(
     (empty for an ε-match); ``None`` when no witnessing path exists.  Used by
     the simple-model construction of Theorem 6.3 and by tests.
     """
-    nfa = build_nfa(regex)
+    nfa = _compiled_nfa(regex)
     start_configurations = {(source, state) for state in nfa.initial}
     parents: Dict[Tuple[NodeId, int], Tuple[Tuple[NodeId, int], Symbol]] = {}
     visited = set(start_configurations)

@@ -14,6 +14,7 @@ Expressions are immutable and hashable; the module also implements the
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import FrozenSet, Iterator, Tuple, Union
 
@@ -100,16 +101,36 @@ class Regex:
     def __add__(self, other: "Regex") -> "Regex":
         return union(self, other)
 
-    def __eq__(self, other: object) -> bool:  # pragma: no cover - dataclasses override
-        raise NotImplementedError
+    # -- hashing and serialisation -------------------------------------------
+    # Expressions are used as cache keys throughout (the engine's automaton
+    # cache, the compile memo of repro.core, symbol interning), so hashing a
+    # deep tree must not recurse on every lookup.  The structural hash and the
+    # canonical token are each computed once per node and cached on the
+    # (frozen) instance; sub-expressions reuse their own cached values, so the
+    # cost is O(size) on first use and O(1) afterwards.  Equality stays the
+    # dataclass-generated structural comparison.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_structural_hash")
+        if cached is None:
+            values = tuple(getattr(self, field.name) for field in dataclasses.fields(self))
+            cached = hash((type(self).__name__, values))
+            object.__setattr__(self, "_structural_hash", cached)
+        return cached
 
-    def __hash__(self) -> int:  # pragma: no cover - dataclasses override
-        raise NotImplementedError
+    def __getstate__(self):
+        # the cached hash mixes per-process values (str hashing is seeded);
+        # drop both caches in transit so unpickled copies recompute locally
+        state = dict(self.__dict__)
+        state.pop("_structural_hash", None)
+        state.pop("_canonical_token", None)
+        return state
 
 
 @dataclass(frozen=True)
 class EmptyLanguage(Regex):
     """``∅`` — matches no path at all."""
+
+    __hash__ = Regex.__hash__
 
     def reverse(self) -> Regex:
         return self
@@ -128,6 +149,8 @@ class EmptyLanguage(Regex):
 class Epsilon(Regex):
     """``ε`` — matches the empty path (any node to itself)."""
 
+    __hash__ = Regex.__hash__
+
     def reverse(self) -> Regex:
         return self
 
@@ -141,6 +164,8 @@ class Epsilon(Regex):
 @dataclass(frozen=True)
 class NodeTest(Regex):
     """``A`` — matches an empty path whose (single) node carries label ``A``."""
+
+    __hash__ = Regex.__hash__
 
     label: str
 
@@ -165,6 +190,8 @@ class NodeTest(Regex):
 class EdgeStep(Regex):
     """``R`` for ``R ∈ Σ±`` — traverses one edge, forwards or backwards."""
 
+    __hash__ = Regex.__hash__
+
     signed: SignedLabel
 
     def __post_init__(self) -> None:
@@ -187,6 +214,8 @@ class EdgeStep(Regex):
 @dataclass(frozen=True)
 class Concat(Regex):
     """``φ·ψ`` — concatenation of paths."""
+
+    __hash__ = Regex.__hash__
 
     left: Regex
     right: Regex
@@ -211,6 +240,8 @@ class Concat(Regex):
 class Union(Regex):
     """``φ+ψ`` — union of languages."""
 
+    __hash__ = Regex.__hash__
+
     left: Regex
     right: Regex
 
@@ -234,6 +265,8 @@ class Union(Regex):
 class Star(Regex):
     """``φ*`` — zero or more repetitions."""
 
+    __hash__ = Regex.__hash__
+
     inner: Regex
 
     def children(self) -> Tuple[Regex, ...]:
@@ -255,8 +288,17 @@ def canonical_token(expr: Regex) -> str:
     Used as the regex component of the canonical fingerprints that key the
     :mod:`repro.engine` caches (see docs/ARCHITECTURE.md, "Cache keys").
     Labels are length-prefixed, so the encoding stays injective whatever
-    characters a label contains.
+    characters a label contains.  The token is computed once per node and
+    cached on the (frozen) instance, like the structural hash.
     """
+    cached = expr.__dict__.get("_canonical_token")
+    if cached is None:
+        cached = _canonical_token_uncached(expr)
+        object.__setattr__(expr, "_canonical_token", cached)
+    return cached
+
+
+def _canonical_token_uncached(expr: Regex) -> str:
     if isinstance(expr, EmptyLanguage):
         return "0"
     if isinstance(expr, Epsilon):

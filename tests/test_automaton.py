@@ -127,3 +127,76 @@ class TestWordEnumeration:
     def test_shortest_word_of_empty_language_raises(self):
         with pytest.raises(ValueError):
             build_nfa(EMPTY).shortest_word()
+
+
+class TestTrim:
+    def test_trim_is_a_method(self):
+        from repro.rpq.automaton import NFA
+
+        nfa = NFA(
+            {0, 1, 2, 3},
+            {0},
+            {1},
+            [(0, w("a")[0], 1), (1, w("b")[0], 2), (3, w("c")[0], 1)],
+        )
+        trimmed = nfa.trim()
+        # state 2 cannot reach a final state, state 3 is unreachable
+        assert trimmed.state_count() == 2
+        assert trimmed.accepts(w("a"))
+        assert not trimmed.accepts(w("a b"))
+
+    def test_trim_of_empty_language_stays_valid(self):
+        from repro.rpq.automaton import NFA
+
+        trimmed = NFA({0, 1}, {0}, set(), [(0, w("a")[0], 1)]).trim()
+        assert trimmed.state_count() == 1
+        assert not trimmed.accepts(w("a"))
+        assert not trimmed.accepts(())
+
+    def test_module_level_alias_is_deprecated(self):
+        from repro.rpq.automaton import trim
+
+        nfa = build_nfa(parse_regex("a . b"))
+        with pytest.warns(DeprecationWarning, match="nfa.trim"):
+            alias_result = trim(nfa)
+        method_result = nfa.trim()
+        assert alias_result.state_count() == method_result.state_count()
+        assert alias_result.accepts(w("a b")) and method_result.accepts(w("a b"))
+
+
+class TestEnumerationDeterminism:
+    """Lock in enumerate_words ordering before/after the core refactor."""
+
+    SPECS = ["(a + b)* . c", "a . b* . c", "(a . b)+ + a . b . a . b", "A . (a . b-)*"]
+
+    def test_two_builds_enumerate_identically(self):
+        for spec in self.SPECS:
+            one = list(
+                build_nfa(parse_regex(spec)).enumerate_words(max_length=6, max_state_repeats=2)
+            )
+            two = list(
+                build_nfa(parse_regex(spec)).enumerate_words(max_length=6, max_state_repeats=2)
+            )
+            assert one == two, spec
+
+    def test_repeated_calls_on_one_nfa_are_identical(self):
+        nfa = build_nfa(parse_regex("(a + b)* . (c + d)"))
+        first = list(nfa.enumerate_words(max_length=5, max_state_repeats=2))
+        second = list(nfa.enumerate_words(max_length=5, max_state_repeats=2))
+        assert first == second
+
+    def test_order_is_length_then_transition_sort(self):
+        # words of equal length appear in the sorted-transition exploration
+        # order: the enumerator visits transitions sorted by (repr, target)
+        nfa = build_nfa(parse_regex("b + a + c"))
+        assert list(nfa.enumerate_words(max_length=2)) == [w("a"), w("b"), w("c")]
+
+    def test_compiled_words_match_direct_enumeration(self):
+        from repro.core import compile_regex
+
+        for spec in self.SPECS:
+            regex = parse_regex(spec)
+            direct = tuple(
+                build_nfa(regex).enumerate_words(max_length=6, max_state_repeats=2, max_words=50)
+            )
+            assert compile_regex(regex).words(6, 2, 50) == direct, spec

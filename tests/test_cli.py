@@ -153,3 +153,25 @@ def test_bench_rejects_unknown_backends():
 def test_unknown_subcommand_exits_with_usage():
     with pytest.raises(SystemExit):
         main(["conquer"])
+
+
+def test_bench_automata_suite_json_report(capsys):
+    code = main(["bench", "--suite", "automata", "--repeats", "1", "--requests", "2", "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suite"] == "automata"
+    assert set(report) == {"suite", "compile", "enumeration", "prefix_sharing"}
+    assert report["compile"]["regexes"] > 0
+    assert report["compile"]["speedup"] > 0
+    # corpus-specific expectation (see bench_automaton_compile.py), not an invariant
+    assert report["enumeration"]["minimal_dfa_states"] <= report["enumeration"]["nfa_states"]
+    # the pruned run is observationally identical (asserted inside the harness)
+    assert report["prefix_sharing"]["satisfiable"] is False
+    assert report["prefix_sharing"]["patterns_checked"] > 0
+
+
+def test_bench_automata_suite_text_summary(capsys):
+    code = main(["bench", "--suite", "automata", "--repeats", "1", "--requests", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "compile:" in out and "prefix sharing:" in out

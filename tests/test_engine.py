@@ -430,3 +430,59 @@ def test_tbox_fingerprint_ignores_statement_order():
     assert tbox.canonical_fingerprint() == reversed_tbox.canonical_fingerprint()
     smaller = type(tbox)(tbox.statements()[:-1], name="smaller")
     assert tbox.canonical_fingerprint() != smaller.canonical_fingerprint()
+
+
+def test_automata_cache_is_keyed_by_schema_context():
+    """One engine serving two schemas must not share pinned symbol tables."""
+    engine = ContainmentEngine()
+    schema_a = medical.source_schema()
+    schema_b = medical.target_schema()
+    regex = parse_c2rpq("p(x) := (a*)(x, y)").atoms[0].regex
+    bundle_a = engine.solver(schema_a)._compile_automaton(regex)
+    bundle_b = engine.solver(schema_b)._compile_automaton(regex)
+    assert bundle_a.context == schema_a.canonical_fingerprint()
+    assert bundle_b.context == schema_b.canonical_fingerprint()
+    assert bundle_a is not bundle_b
+    # but within one schema the bundle is shared (cache hit)
+    assert engine.solver(schema_a)._compile_automaton(regex) is bundle_a
+
+
+def test_nfa_cache_size_kwarg_is_deprecated_but_honoured():
+    with pytest.warns(DeprecationWarning, match="automaton_cache_size"):
+        engine = ContainmentEngine(nfa_cache_size=7)
+    assert engine._automata.maxsize == 7
+
+
+def test_legacy_build_nfa_override_is_still_observed():
+    """Pre-core subclasses overriding _build_nfa keep substituting automata."""
+    from repro.rpq import build_nfa
+
+    built = []
+
+    class LegacySolver(ContainmentSolver):
+        def _build_nfa(self, regex):
+            nfa = build_nfa(regex)  # a fresh NFA, not the memoized one
+            built.append(nfa)
+            return nfa
+
+    schema = medical.source_schema()
+    solver = LegacySolver(schema)
+    regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
+    bundle = solver._compile_automaton(regex)
+    # the override returned a distinct NFA object, and the bundle wraps it
+    assert len(built) == 1 and bundle.nfa is built[0]
+    result = solver.contains(
+        parse_c2rpq("p(x) := (designTarget)(x, y)"), parse_c2rpq("q(x) := Vaccine(x)")
+    )
+    assert result.contained
+    assert len(built) > 1  # the pipeline routed through the override
+
+
+def test_super_build_nfa_call_does_not_recurse():
+    class LegacySolver(ContainmentSolver):
+        def _build_nfa(self, regex):
+            return super()._build_nfa(regex)  # the classic extension idiom
+
+    solver = LegacySolver(medical.source_schema())
+    regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
+    assert solver._compile_automaton(regex).nfa.state_count() > 0

@@ -118,7 +118,7 @@ def test_merge_stats_sums_counters():
         results=CacheStats("results", hits=1, misses=2, evictions=0),
         completions=CacheStats("completions", hits=3, misses=1),
         schema_tboxes=CacheStats("schema-tboxes", misses=1),
-        nfas=CacheStats("nfas", hits=5),
+        automata=CacheStats("automata", hits=5),
         contains_calls=3,
         batches=1,
     )
@@ -126,14 +126,14 @@ def test_merge_stats_sums_counters():
         results=CacheStats("results", hits=4, misses=1, evictions=2),
         completions=CacheStats("completions"),
         schema_tboxes=CacheStats("schema-tboxes", hits=2),
-        nfas=CacheStats("nfas", misses=7),
+        automata=CacheStats("automata", misses=7),
         contains_calls=5,
         batches=2,
     )
     merged = merge_stats([one, two])
     assert (merged.results.hits, merged.results.misses, merged.results.evictions) == (5, 3, 2)
     assert merged.completions.hits == 3 and merged.schema_tboxes.hits == 2
-    assert merged.nfas.lookups == 12
+    assert merged.automata.lookups == 12
     assert merged.contains_calls == 8 and merged.batches == 3
 
 
@@ -201,7 +201,7 @@ def test_pool_stats_aggregate_worker_counters(shared_process_engine):
     assert stats.contains_calls > 0
     assert stats.results.lookups >= stats.contains_calls
     as_dict = stats.as_dict()
-    assert set(as_dict["caches"]) == {"results", "completions", "schema-tboxes", "nfas"}
+    assert set(as_dict["caches"]) == {"results", "completions", "schema-tboxes", "automata"}
 
 
 # --------------------------------------------------------------------------- #

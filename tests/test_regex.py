@@ -149,3 +149,62 @@ class TestParser:
     def test_unexpected_character_rejected(self):
         with pytest.raises(ParseError):
             parse_regex("a ; b")
+
+
+class TestStructuralHashCaching:
+    """The cached structural hash that replaced the forbidden __eq__/__hash__."""
+
+    def test_hash_agrees_with_equality(self):
+        assert hash(concat(edge("r"), edge("s"))) == hash(concat(edge("r"), edge("s")))
+        assert hash(star(edge("r"))) != hash(plus(edge("r")))
+
+    def test_hash_is_computed_once_and_cached(self):
+        expr = star(union(edge("r"), concat(node("A"), edge("s"))))
+        assert "_structural_hash" not in expr.__dict__
+        first = hash(expr)
+        assert expr.__dict__["_structural_hash"] == first
+        assert hash(expr) == first
+
+    def test_subexpressions_cache_independently(self):
+        inner = concat(edge("r"), edge("s"))
+        outer = star(inner)
+        hash(outer)
+        # hashing the tree populated the child's cache too (dataclass field
+        # hashing recurses through it exactly once)
+        assert "_structural_hash" in inner.__dict__
+
+    def test_canonical_token_is_cached(self):
+        from repro.rpq.regex import canonical_token
+
+        expr = union(edge("r"), star(node("A")))
+        token = canonical_token(expr)
+        assert expr.__dict__["_canonical_token"] == token
+        assert canonical_token(expr) is token
+
+    def test_pickling_drops_the_caches(self):
+        import pickle
+
+        from repro.rpq.regex import canonical_token
+
+        expr = star(concat(edge("r"), node("A")))
+        hash(expr)
+        canonical_token(expr)
+        clone = pickle.loads(pickle.dumps(expr))
+        assert "_structural_hash" not in clone.__dict__
+        assert "_canonical_token" not in clone.__dict__
+        assert clone == expr
+        assert hash(clone) == hash(expr)  # same process: same seed
+        assert canonical_token(clone) == canonical_token(expr)
+
+    def test_all_node_kinds_hash(self):
+        for expr in (
+            EMPTY,
+            EPSILON,
+            node("A"),
+            edge("r"),
+            concat(edge("r"), edge("s")),
+            union(edge("r"), edge("s")),
+            star(edge("r")),
+        ):
+            assert isinstance(hash(expr), int)
+            assert expr in {expr}

@@ -151,3 +151,58 @@ class TestSatisfiability:
         result = solver.is_satisfiable(parse_c2rpq("q() := (crossReacting*)(x, y)").boolean())
         assert result.satisfiable
         assert result.patterns_checked >= 1
+
+
+class TestTruncatedBoundaries:
+    """Lock in the regime semantics when a cap is hit *exactly*."""
+
+    REFUTING = TBox([NoExistsCI(conj("A"), forward("r"), conj())])
+
+    def test_word_count_cap_hit_exactly_is_truncated(self):
+        # (s + t) has exactly two words; enumerating both while the cap is
+        # two still reports "truncated" — the solver cannot tell completion
+        # from cut-off when len(words) == max_words_per_atom
+        config = SatisfiabilityConfig(max_words_per_atom=2)
+        result = is_satisfiable(
+            parse_c2rpq("q() := A(x), (r)(x, y), (s + t)(y, z)"), self.REFUTING, config
+        )
+        assert not result.satisfiable
+        assert result.regime == "truncated"
+
+    def test_word_count_one_above_the_cap_is_exact(self):
+        config = SatisfiabilityConfig(max_words_per_atom=3)
+        result = is_satisfiable(
+            parse_c2rpq("q() := A(x), (r)(x, y), (s + t)(y, z)"), self.REFUTING, config
+        )
+        assert not result.satisfiable
+        assert result.regime == "exact"
+
+    def test_word_length_cap_hit_exactly_by_finite_language_is_pumped(self):
+        # a fully enumerated finite language whose longest word has exactly
+        # max_word_length letters is reported "pumped", not "exact": a longer
+        # word could have been cut off at the same bound
+        config = SatisfiabilityConfig(max_word_length=2)
+        result = is_satisfiable(
+            parse_c2rpq("q() := A(x), (r . s)(x, y)"), self.REFUTING, config
+        )
+        assert not result.satisfiable
+        assert result.regime == "pumped"
+
+    def test_pattern_cap_equal_to_combination_count_stays_exact(self):
+        # exactly max_patterns combinations: every one is chased, no cut-off
+        config = SatisfiabilityConfig(max_patterns=2)
+        result = is_satisfiable(
+            parse_c2rpq("q() := A(x), (r)(x, y), (s + t)(y, z)"), self.REFUTING, config
+        )
+        assert not result.satisfiable
+        assert result.regime == "exact"
+        assert result.patterns_checked == 2
+
+    def test_pattern_cap_below_combination_count_is_truncated(self):
+        config = SatisfiabilityConfig(max_patterns=1)
+        result = is_satisfiable(
+            parse_c2rpq("q() := A(x), (r)(x, y), (s + t)(y, z)"), self.REFUTING, config
+        )
+        assert not result.satisfiable
+        assert result.regime == "truncated"
+        assert result.patterns_checked == 1
