@@ -18,6 +18,8 @@ the full API:
 * :mod:`repro.analysis` — type checking, equivalence, schema elicitation;
 * :mod:`repro.containment` — query containment modulo schema;
 * :mod:`repro.engine` — the cached containment engine and its batch API;
+* :mod:`repro.store` — the disk-persistent result store behind
+  ``ContainmentEngine(persist=path)``;
 * :mod:`repro.workloads` — ready-made scenarios (the paper's medical example,
   FHIR-style migrations, synthetic generators).
 """
@@ -43,6 +45,7 @@ from .analysis import (
 )
 from .containment import ContainmentResult, contains
 from .engine import ContainmentEngine, ContainmentRequest, default_engine
+from .store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -77,5 +80,6 @@ __all__ = [
     "ContainmentEngine",
     "ContainmentRequest",
     "default_engine",
+    "ResultStore",
     "__version__",
 ]

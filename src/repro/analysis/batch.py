@@ -46,26 +46,37 @@ def _run_jobs(
     parallel: Union[bool, str],
     engine: Optional[ContainmentEngine],
     max_workers: Optional[int],
+    persist: Optional[Any] = None,
 ) -> List[Any]:
     backend = ContainmentEngine._normalise_backend(parallel)
+    owned: Optional[ContainmentEngine] = None
+    if engine is None and persist is not None:
+        # a one-shot persisting engine for this batch; callers running many
+        # batches should construct ContainmentEngine(persist=...) themselves
+        # and pass it, so its pool and memory caches survive between calls
+        owned = engine = ContainmentEngine(persist=persist)
     resolved_engine = engine or default_engine()
-    if backend == "process" and payloads:
-        pool: WorkerPool = resolved_engine.process_pool(max_workers)
-        # the tertiary routing token must be deterministic run-to-run (the
-        # plan_routing contract), so it is built from the schema fingerprint
-        # and the job's batch position — never from object reprs, whose
-        # memory addresses would scatter identical work across workers
-        keys = []
-        for position, schema in enumerate(routing_schemas):
-            schema_fp = schema.canonical_fingerprint()
-            keys.append((schema_fp, "", f"{schema_fp}\x1f{position}"))
-        return pool.run_batch(kind, list(payloads), keys)
-    if backend == "thread" and len(payloads) > 1:
-        workers = max_workers or min(32, (os.cpu_count() or 2))
-        workers = min(workers, len(payloads))
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(lambda p: serial_runner(resolved_engine, p), payloads))
-    return [serial_runner(resolved_engine, payload) for payload in payloads]
+    try:
+        if backend == "process" and payloads:
+            pool: WorkerPool = resolved_engine.process_pool(max_workers)
+            # the tertiary routing token must be deterministic run-to-run (the
+            # plan_routing contract), so it is built from the schema fingerprint
+            # and the job's batch position — never from object reprs, whose
+            # memory addresses would scatter identical work across workers
+            keys = []
+            for position, schema in enumerate(routing_schemas):
+                schema_fp = schema.canonical_fingerprint()
+                keys.append((schema_fp, "", f"{schema_fp}\x1f{position}"))
+            return pool.run_batch(kind, list(payloads), keys)
+        if backend == "thread" and len(payloads) > 1:
+            workers = max_workers or min(32, (os.cpu_count() or 2))
+            workers = min(workers, len(payloads))
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                return list(executor.map(lambda p: serial_runner(resolved_engine, p), payloads))
+        return [serial_runner(resolved_engine, payload) for payload in payloads]
+    finally:
+        if owned is not None:
+            owned.close()
 
 
 def type_check_many(
@@ -75,13 +86,17 @@ def type_check_many(
     parallel: Union[bool, str] = False,
     engine: Optional[ContainmentEngine] = None,
     max_workers: Optional[int] = None,
+    persist: Optional[Any] = None,
 ) -> List[TypeCheckResult]:
     """Type check a batch of ``(transformation, source, target[, config])``
     jobs; results keep job order.
 
     ``parallel`` selects the backend exactly as in ``check_many`` (see the
     module docstring); ``engine`` defaults to the process-wide engine, whose
-    persistent worker pool serves the ``"process"`` backend.
+    persistent worker pool serves the ``"process"`` backend.  ``persist``
+    (a store path, only without ``engine``) runs the batch on a one-shot
+    engine backed by the disk store, so the containment verdicts inside the
+    analyses survive the process.
     """
     payloads = []
     schemas = []
@@ -97,6 +112,7 @@ def type_check_many(
         parallel,
         engine,
         max_workers,
+        persist,
     )
 
 
@@ -107,9 +123,11 @@ def check_equivalence_many(
     parallel: Union[bool, str] = False,
     engine: Optional[ContainmentEngine] = None,
     max_workers: Optional[int] = None,
+    persist: Optional[Any] = None,
 ) -> List[EquivalenceResult]:
     """Decide equivalence for a batch of ``(left, right, schema[, config])``
-    jobs; results keep job order.  Backends as in :func:`type_check_many`."""
+    jobs; results keep job order.  Backends and ``persist`` as in
+    :func:`type_check_many`."""
     payloads = []
     schemas = []
     for job in jobs:
@@ -124,6 +142,7 @@ def check_equivalence_many(
         parallel,
         engine,
         max_workers,
+        persist,
     )
 
 

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Four subcommands over the library's hot paths:
+Five subcommands over the library's hot paths:
 
 * ``contain`` — one containment test ``P ⊆_S Q``, schema from a spec file
   (the :mod:`repro.schema.parser` DSL) or a built-in workload;
@@ -14,14 +14,25 @@ Four subcommands over the library's hot paths:
   fingerprint-identical verdicts and reporting per-backend speedups; with
   ``--suite automata`` it instead reports the compiled-automaton-core
   timings (cold vs memoized compilation, enumeration reuse, prefix
-  sharing — harness in :mod:`repro.core.benchmarks`).
+  sharing — harness in :mod:`repro.core.benchmarks`), and with
+  ``--suite store`` the cold-vs-warm contrast of the disk-persistent
+  result store on a mixed workload.  Every bench report embeds a
+  ``context`` block (CPU count, Python version, platform, the fixed RNG
+  seed) so trend comparisons across runners are interpretable;
+* ``cache`` — manage a persistent store file: ``stats``, ``clear``,
+  ``export`` (entry metadata as JSON) and ``warm`` (pre-populate from a
+  workload or spec file).
+
+``contain``, ``typecheck`` and ``batch`` accept ``--persist PATH`` to put
+the disk store behind the engine (see :mod:`repro.store`); ``bench`` uses
+``--persist`` for the store suite's file.
 
 Every subcommand accepts ``--json`` (``-`` for stdout, otherwise a path) and
 prints a human summary otherwise.  :func:`main` takes an ``argv`` list and
 returns an exit code — it never calls ``sys.exit`` itself, so it is directly
 callable from tests and executable documentation blocks.
 
-Spec files for ``batch``/``bench`` are JSON documents::
+Spec files for ``batch``/``bench``/``cache warm`` are JSON documents::
 
     {
       "schema": "schema S { nodes A; edge A -r-> A [*, *]; }",
@@ -33,7 +44,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
+import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -43,11 +58,40 @@ from .engine.parallel import default_worker_count
 from .rpq.parser import parse_c2rpq
 from .schema.parser import parse_schema
 from .schema.schema import Schema
-from .workloads.batches import BUILTIN_WORKLOADS, containment_batch, workload_schemas
+from .store import ResultStore
+from .workloads.batches import (
+    BUILTIN_WORKLOADS,
+    containment_batch,
+    mixed_batch,
+    workload_schemas,
+)
 
 __all__ = ["main"]
 
 BACKENDS = ("serial", "thread", "process")
+
+#: The RNG seed recorded in (and applied before) every bench report, so any
+#: randomised corpus or tie-breaking is reproducible run to run.
+BENCH_SEED = 1729
+
+
+def _context_block() -> Dict[str, Any]:
+    """Machine/runtime metadata embedded in every bench JSON report.
+
+    Timings from different runners are only comparable with this block in
+    hand; the trend tracker (tools/bench_trend.py) prints it alongside any
+    regression warning.  Seeding is a side effect on purpose: every bench
+    run starts from the same RNG state.
+    """
+    random.seed(BENCH_SEED)
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "rng_seed": BENCH_SEED,
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -130,20 +174,25 @@ def _cmd_contain(args: argparse.Namespace) -> int:
         schema = workload_schemas(args.workload, length=args.length)["source"]
     left = parse_c2rpq(args.left)
     right = parse_c2rpq(args.right)
-    engine = ContainmentEngine()
-    result = engine.contains(left, right, schema)
-    report = {
-        "contained": result.contained,
-        "regime": result.regime,
-        "schema": result.schema_name,
-        "left": result.left_name,
-        "right": result.right_name,
-        "patterns_checked": result.patterns_checked,
-        "tbox_size": result.tbox_size,
-        "elapsed_seconds": result.elapsed_seconds,
-        "fingerprint": result_fingerprint(result),
-    }
-    _emit(report, args.json, result.summary())
+    engine = ContainmentEngine(persist=args.persist)
+    try:
+        result = engine.contains(left, right, schema)
+        report = {
+            "contained": result.contained,
+            "regime": result.regime,
+            "schema": result.schema_name,
+            "left": result.left_name,
+            "right": result.right_name,
+            "patterns_checked": result.patterns_checked,
+            "tbox_size": result.tbox_size,
+            "elapsed_seconds": result.elapsed_seconds,
+            "fingerprint": result_fingerprint(result),
+        }
+        if engine.store is not None:
+            report["store"] = engine.store.describe()
+        _emit(report, args.json, result.summary())
+    finally:
+        engine.close()
     return 0
 
 
@@ -177,24 +226,31 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         transformation = migrations[args.workload]()
         source, target = schemas["source"], schemas["target"]
 
-    result = type_check(transformation, source, target)
-    report = {
-        "well_typed": result.well_typed,
-        "transformation": result.transformation_name,
-        "source_schema": result.source_schema,
-        "target_schema": result.target_schema,
-        "signature_errors": result.signature_errors,
-        "failed_statements": [str(e.statement) for e in result.failed_statements()],
-        "containment_calls": result.containment_calls,
-        "elapsed_seconds": result.elapsed_seconds,
-    }
-    _emit(report, args.json, result.summary())
+    engine = ContainmentEngine(persist=args.persist) if args.persist else None
+    try:
+        result = type_check(transformation, source, target, engine=engine)
+        report = {
+            "well_typed": result.well_typed,
+            "transformation": result.transformation_name,
+            "source_schema": result.source_schema,
+            "target_schema": result.target_schema,
+            "signature_errors": result.signature_errors,
+            "failed_statements": [str(e.statement) for e in result.failed_statements()],
+            "containment_calls": result.containment_calls,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        if engine is not None and engine.store is not None:
+            report["store"] = engine.store.describe()
+        _emit(report, args.json, result.summary())
+    finally:
+        if engine is not None:
+            engine.close()
     return 0 if result.well_typed else 1
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     label, schema, pairs = _resolve_batch(args)
-    engine = ContainmentEngine()
+    engine = ContainmentEngine(persist=args.persist)
     try:
         results, elapsed = _run_backend(engine, args.backend, schema, pairs, args.workers)
         for _ in range(args.repeat - 1):
@@ -212,22 +268,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "fingerprint": _batch_fingerprint(results),
             "stats": _stats_block(engine, args.backend),
         }
+        if engine.store is not None:
+            report["store"] = engine.store.describe()
         summary = (
             f"{label}: {len(pairs)} containment tests on the {args.backend} backend in "
             f"{elapsed * 1000:.1f} ms ({contained} contained / {len(pairs) - contained} not)"
         )
         _emit(report, args.json, summary)
     finally:
-        engine.shutdown()
+        engine.close()
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.suite == "automata":
         return _cmd_bench_automata(args)
+    if args.suite == "store":
+        return _cmd_bench_store(args)
     if args.repeats is not None or args.requests is not None:
         print(
             "bench: --repeats/--requests only apply to --suite automata; ignoring",
+            file=sys.stderr,
+        )
+    if args.persist:
+        print(
+            "bench: --persist only applies to --suite store (a shared store would "
+            "warm later backends and skew the comparison); ignoring",
             file=sys.stderr,
         )
     label, schema, pairs = _resolve_batch(args)
@@ -236,6 +302,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(f"bench: unknown backend(s) {', '.join(unknown)}")
 
+    context = _context_block()  # seeds the RNG before any backend runs
     runs: Dict[str, Dict[str, Any]] = {}
     fingerprints = {}
     for backend in backends:
@@ -258,19 +325,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline["elapsed_seconds"] / run["elapsed_seconds"] if run["elapsed_seconds"] else None
         )
     report = {
+        "suite": "backends",
         "workload": label,
         "tasks": len(pairs),
         "workers": args.workers or default_worker_count(),
         "backends": runs,
         "fingerprints": fingerprints,
         "verdicts_identical": identical,
+        "context": context,
     }
     lines = [f"{label}: {len(pairs)} containment tests"]
     for backend in backends:
         run = runs[backend]
+        speedup = run["speedup_vs_serial"]
         lines.append(
             f"  {backend:8s} {run['elapsed_seconds'] * 1000:9.1f} ms  "
-            f"{run['speedup_vs_serial']:.2f}x vs serial"
+            f"{f'{speedup:.2f}x' if speedup is not None else 'inf'} vs serial"
         )
     lines.append(f"  verdicts identical across backends: {identical}")
     _emit(report, args.json, "\n".join(lines))
@@ -292,18 +362,206 @@ def _cmd_bench_automata(args: argparse.Namespace) -> int:
         ignored.append("--backends")
     if args.workers is not None:
         ignored.append("--workers")
+    if args.persist:
+        ignored.append("--persist")
     if ignored:
         print(
             f"bench: {', '.join(ignored)} do(es) not apply to --suite automata "
             "(it runs a fixed built-in corpus); ignoring",
             file=sys.stderr,
         )
+    context = _context_block()
     report = benchmarks.run_report(
         repeats=args.repeats if args.repeats is not None else 5,
         requests=args.requests if args.requests is not None else 50,
     )
+    report["context"] = context
     _emit(report, args.json, benchmarks.summary(report))
     return 0
+
+
+def _cmd_bench_store(args: argparse.Namespace) -> int:
+    """``bench --suite store`` — cold vs persistent-warm on a mixed workload.
+
+    Three passes over the same mixed-workload batch, rebuilt from scratch
+    each time (fresh query/schema objects, fresh engine, cleared compile
+    memo — everything a new process would not have):
+
+    1. a **baseline** run with no store at all;
+    2. a **cold** run against an empty store file (solves + writes back);
+    3. a **warm** run against that now-populated file (disk replays).
+
+    The headline number is ``speedup`` (cold / warm); the suite also asserts
+    the three passes fingerprint-identical, which is the exit code.
+    """
+    from .core import clear_compile_memo
+
+    ignored = []
+    if args.backends != "serial,thread,process":
+        ignored.append("--backends")
+    if args.workers is not None:
+        ignored.append("--workers")
+    if args.repeats is not None or args.requests is not None:
+        ignored.append("--repeats/--requests")
+    if args.spec:
+        ignored.append("--spec")
+    if args.workload != "medical":
+        ignored.append("--workload")
+    if ignored:
+        print(
+            f"bench: {', '.join(ignored)} do(es) not apply to --suite store "
+            "(it runs the mixed workload serially); ignoring",
+            file=sys.stderr,
+        )
+    context = _context_block()
+
+    temp_dir: Optional[tempfile.TemporaryDirectory] = None
+    if args.persist:
+        store_path = Path(args.persist)
+        scratch = ResultStore(store_path)
+        dropped = scratch.clear()
+        scratch.close()
+        if dropped:
+            print(
+                f"bench: cleared {dropped} entries from {store_path} for a cold start",
+                file=sys.stderr,
+            )
+    else:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        store_path = Path(temp_dir.name) / "store.db"
+
+    def run(persist: Optional[Path]) -> Tuple[str, float, Dict[str, Any]]:
+        requests = mixed_batch(length=args.length)
+        clear_compile_memo()
+        engine = ContainmentEngine(persist=persist)
+        try:
+            if engine.store is not None and engine.store.disabled:
+                # measuring "cold vs warm" against a store that never opened
+                # would report a plausible ~1x number that measured nothing
+                raise SystemExit(
+                    f"bench: cannot open store {persist}: {engine.store.disabled_reason}"
+                )
+            started = time.perf_counter()
+            results = engine.check_many(requests)
+            elapsed = time.perf_counter() - started
+            block: Dict[str, Any] = {"elapsed_seconds": elapsed}
+            if engine.store is not None:
+                block["store"] = engine.store.stats.as_dict()
+            return _batch_fingerprint(results), elapsed, block
+        finally:
+            engine.close()
+
+    try:
+        tasks = len(mixed_batch(length=args.length))
+        baseline_fp, baseline_seconds, baseline_block = run(None)
+        cold_fp, cold_seconds, cold_block = run(store_path)
+        warm_fp, warm_seconds, warm_block = run(store_path)
+        identical = baseline_fp == cold_fp == warm_fp
+        store_view = ResultStore(store_path, mode="ro")
+        report = {
+            "suite": "store",
+            "workload": f"mixed(length={args.length})",
+            "tasks": tasks,
+            "baseline": baseline_block,
+            "cold": cold_block,
+            "warm": warm_block,
+            "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+            "store": {
+                "path": str(store_path),
+                "file_bytes": store_view.file_size(),
+                "tiers": store_view.counts(),
+            },
+            "fingerprints_identical": identical,
+            "context": context,
+        }
+        store_view.close()
+        speedup_text = f"{report['speedup']:.1f}x" if report["speedup"] is not None else "inf"
+        summary = (
+            f"persistent store: {tasks} mixed containment tests — "
+            f"baseline {baseline_seconds * 1000:.1f} ms, "
+            f"cold {cold_seconds * 1000:.1f} ms, warm {warm_seconds * 1000:.1f} ms "
+            f"({speedup_text} warm speedup)\n"
+            f"  verdicts identical across baseline/cold/warm: {identical}"
+        )
+        _emit(report, args.json, summary)
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()
+    return 0 if identical else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``cache stats|clear|export|warm`` — manage a persistent store file."""
+    path = Path(args.persist)
+
+    if args.cache_command == "stats":
+        store = ResultStore(path, mode="ro")
+        report = store.describe()
+        tiers = report["tiers"]
+        if store.disabled:
+            summary = f"{path}: store unavailable ({store.disabled_reason})"
+        else:
+            entries = sum(tiers.values())
+            tier_text = ", ".join(f"{tier}: {count}" for tier, count in tiers.items()) or "empty"
+            summary = (
+                f"{path}: {entries} entries ({tier_text}), "
+                f"{report['file_bytes'] / 1024:.1f} KiB, "
+                f"format v{report['meta'].get('store_format_version', '?')} / "
+                f"library {report['meta'].get('library_version', '?')}"
+            )
+        store.close()
+        _emit(report, args.json, summary)
+        return 0
+
+    if args.cache_command == "clear":
+        store = ResultStore(path)
+        if store.disabled:
+            print(f"cache clear: {path}: {store.disabled_reason}", file=sys.stderr)
+            store.close()
+            return 1
+        dropped = store.clear(args.tier)
+        store.close()
+        scope = f"tier {args.tier!r}" if args.tier else "all tiers"
+        _emit({"path": str(path), "dropped": dropped, "tier": args.tier},
+              args.json, f"{path}: dropped {dropped} entries ({scope})")
+        return 0
+
+    if args.cache_command == "export":
+        store = ResultStore(path, mode="ro")
+        report = {"store": store.describe(), "entries": store.entries()}
+        disabled = store.disabled
+        store.close()
+        if disabled:
+            print(f"cache export: {path}: {report['store']['disabled_reason']}", file=sys.stderr)
+            return 1
+        _emit(report, args.json or "-",
+              f"{path}: {len(report['entries'])} entries")  # export defaults to stdout JSON
+        return 0
+
+    if args.cache_command == "warm":
+        label, schema, pairs = _resolve_batch(args)
+        engine = ContainmentEngine(persist=path)
+        try:
+            started = time.perf_counter()
+            engine.check_many(pairs, schema=schema)
+            elapsed = time.perf_counter() - started
+            store_block = engine.store.describe()
+            report = {
+                "path": str(path),
+                "workload": label,
+                "tasks": len(pairs),
+                "elapsed_seconds": elapsed,
+                "store": store_block,
+            }
+            entries = sum(store_block["tiers"].values())
+            _emit(report, args.json,
+                  f"{path}: warmed with {label} ({len(pairs)} tests, "
+                  f"{store_block['stats']['writes']} writes, {entries} entries total)")
+        finally:
+            engine.close()
+        return 0
+
+    raise SystemExit(f"cache: unknown subcommand {args.cache_command!r}")
 
 
 # --------------------------------------------------------------------------- #
@@ -333,6 +591,14 @@ def _add_report_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_persist_argument(
+    parser: argparse.ArgumentParser, help_text: str, required: bool = False
+) -> None:
+    parser.add_argument(
+        "--persist", metavar="PATH", default=None, required=required, help=help_text
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -345,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     contain.add_argument("--schema-file", help="schema DSL file (overrides --workload)")
     contain.add_argument("--left", required=True, help='left query, e.g. "p(x) := (r)(x, y)"')
     contain.add_argument("--right", required=True, help='right (acyclic) query, e.g. "q(x) := A(x)"')
+    _add_persist_argument(contain, "disk-persistent result store file (read/write)")
     _add_report_argument(contain)
     contain.set_defaults(handler=_cmd_contain)
 
@@ -361,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
     typecheck.add_argument("--transformation", help="transformation DSL file")
     typecheck.add_argument("--source", help="source schema DSL file (with --transformation)")
     typecheck.add_argument("--target", help="target schema DSL file (with --transformation)")
+    _add_persist_argument(typecheck, "disk-persistent result store file (read/write)")
     _add_report_argument(typecheck)
     typecheck.set_defaults(handler=_cmd_typecheck)
 
@@ -374,6 +642,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--repeat", type=int, default=1, help="repeat the batch N times, report the last (warm) run"
     )
+    _add_persist_argument(
+        batch,
+        "disk-persistent result store file; process-backend workers warm-start from it",
+    )
     _add_report_argument(batch)
     batch.set_defaults(handler=_cmd_batch)
 
@@ -383,11 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(bench)
     bench.add_argument(
         "--suite",
-        choices=("backends", "automata"),
+        choices=("backends", "automata", "store"),
         default="backends",
         help=(
             "benchmark suite: 'backends' compares execution backends on a workload, "
-            "'automata' reports the compiled-automaton-core timings (default: backends)"
+            "'automata' reports the compiled-automaton-core timings, 'store' the "
+            "cold-vs-warm contrast of the persistent result store (default: backends)"
         ),
     )
     bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
@@ -409,8 +682,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="automata suite: word-list requests per regex in the enumeration timing (default: 50)",
     )
+    _add_persist_argument(
+        bench,
+        "store suite: the store file to measure (cleared for a cold start; "
+        "default: a temporary file)",
+    )
     _add_report_argument(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and manage a disk-persistent result store"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_commands.add_parser("stats", help="entry counts, size and version stamp")
+    _add_persist_argument(cache_stats, "the store file to inspect", required=True)
+    _add_report_argument(cache_stats)
+
+    cache_clear = cache_commands.add_parser("clear", help="drop persisted entries")
+    _add_persist_argument(cache_clear, "the store file to clear", required=True)
+    cache_clear.add_argument(
+        "--tier",
+        choices=("results", "schema-tboxes"),
+        default=None,
+        help="clear only one tier (default: everything)",
+    )
+    _add_report_argument(cache_clear)
+
+    cache_export = cache_commands.add_parser(
+        "export", help="dump entry metadata (tier, key, size, age) as JSON"
+    )
+    _add_persist_argument(cache_export, "the store file to export", required=True)
+    _add_report_argument(cache_export)
+
+    cache_warm = cache_commands.add_parser(
+        "warm", help="pre-populate a store from a workload or spec file"
+    )
+    _add_workload_arguments(cache_warm)
+    cache_warm.add_argument("--spec", help="JSON spec file (overrides --workload)")
+    _add_persist_argument(cache_warm, "the store file to warm", required=True)
+    _add_report_argument(cache_warm)
+
+    cache.set_defaults(handler=_cmd_cache)
 
     return parser
 

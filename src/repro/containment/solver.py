@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -259,8 +260,16 @@ class ContainmentSolver:
         so old subclasses keep observing (and substituting) the automaton
         construction.  The default resolves through the same compile memo —
         deliberately not via :meth:`_compile_automaton`, so an override
-        calling ``super()._build_nfa(...)`` cannot recurse.
+        calling ``super()._build_nfa(...)`` cannot recurse — and warns:
+        callers should move to ``_compile_automaton`` (the bundle's ``.nfa``
+        is the same object this returns).
         """
+        warnings.warn(
+            "_build_nfa is deprecated; override or call _compile_automaton instead "
+            "(its CompiledAutomaton bundle exposes the same NFA as .nfa)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._intern_context is None:
             self._intern_context = self.schema.canonical_fingerprint()
         return compile_regex(regex, self._intern_context).nfa

@@ -1,10 +1,13 @@
 """Bounded LRU caches with hit/miss/eviction accounting.
 
 The containment engine keeps several independent caches (verdicts,
-completions, schema encodings, compiled NFAs).  Each is an :class:`LRUCache`
-with its own :class:`CacheStats`, so benchmarks and operators can see exactly
-where batch workloads hit or miss (see docs/ARCHITECTURE.md, "The cached
-containment engine").
+completions, schema encodings, compiled automaton bundles).  Each is an
+:class:`LRUCache` with its own :class:`CacheStats`, so benchmarks and
+operators can see exactly where batch workloads hit or miss (see
+docs/ARCHITECTURE.md, "The cached containment engine").  These are the
+*memory* tier; engines constructed with ``persist=`` back them with the
+disk tier of :mod:`repro.store`, whose :class:`~repro.store.StoreStats`
+counters are reported alongside these in ``engine.stats``.
 """
 
 from __future__ import annotations

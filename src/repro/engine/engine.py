@@ -37,6 +37,15 @@ fingerprints to a new key.  :meth:`ContainmentEngine.check_many` evaluates
 batches (optionally on a :class:`~concurrent.futures.ThreadPoolExecutor`) and
 :data:`default_engine` provides the process-wide instance behind the
 stateless :func:`repro.containment.contains` wrapper.
+
+``ContainmentEngine(persist=path)`` adds a **second, disk-persistent tier**
+below the memory caches (:class:`repro.store.ResultStore`): result and
+schema-TBox lookups go memory → disk → solver, misses write back to both
+tiers, and worker processes of the ``"process"`` backend open the same file
+read-only so they warm-start instead of recomputing.  The store is keyed by
+the same canonical fingerprints and version-stamped, so verdicts are
+bit-identical with the store hot, cold, disabled or deleted (see
+docs/ARCHITECTURE.md, "The two-tier cache hierarchy").
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ from ..containment.solver import (
 )
 from ..rpq.queries import UC2RPQ
 from ..schema.schema import Schema
+from ..store import ResultStore, StoreStats
 from .cache import CacheStats, LRUCache
 
 __all__ = [
@@ -87,7 +97,12 @@ class ContainmentRequest:
 
 @dataclass
 class EngineStats:
-    """A snapshot of the engine's cache counters and call totals."""
+    """A snapshot of the engine's cache counters and call totals.
+
+    ``store`` is the persistent tier's counters, present only on engines
+    constructed with ``persist=`` (and in worker snapshots of warm-started
+    pools).
+    """
 
     results: CacheStats
     completions: CacheStats
@@ -95,10 +110,11 @@ class EngineStats:
     automata: CacheStats
     contains_calls: int = 0
     batches: int = 0
+    store: Optional[StoreStats] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict form for logging and benchmark reports."""
-        return {
+        report = {
             "contains_calls": self.contains_calls,
             "batches": self.batches,
             "caches": {
@@ -106,6 +122,9 @@ class EngineStats:
                 for stats in (self.results, self.completions, self.schema_tboxes, self.automata)
             },
         }
+        if self.store is not None:
+            report["store"] = self.store.as_dict()
+        return report
 
     def summary(self) -> str:
         """A short human-readable report."""
@@ -114,6 +133,8 @@ class EngineStats:
             f"  {stats}"
             for stats in (self.results, self.completions, self.schema_tboxes, self.automata)
         )
+        if self.store is not None:
+            lines.append(f"  {self.store}")
         return "\n".join(lines)
 
 
@@ -136,6 +157,18 @@ def _result_key(
         _digest(left.canonical_token(), left.name, right.canonical_token(), right.name),
         config,
     )
+
+
+def _store_token(key: Tuple[str, str, ContainmentConfig]) -> str:
+    """Flatten a results-cache key into the store's string key space.
+
+    ``ContainmentConfig`` is a frozen dataclass of plain values (and nested
+    frozen dataclasses), so its ``repr`` is a deterministic canonical token —
+    two configs hash to the same store row exactly when they would hit the
+    same in-memory cache entry.
+    """
+    schema_fingerprint, pair_digest, config = key
+    return _digest(schema_fingerprint, pair_digest, repr(config))
 
 
 class _CachingSolver(ContainmentSolver):
@@ -163,11 +196,19 @@ class _CachingSolver(ContainmentSolver):
         with engine._lock:
             engine._contains_calls += 1
             cached = engine._results.get(key)
+        if cached is None and engine._store is not None:
+            # second tier: the disk store (its own lock; never under ours)
+            cached = engine._store.get("results", _store_token(key))
+            if cached is not None:
+                with engine._lock:
+                    engine._results.put(key, cached)
         if cached is not None:
             return self._replay(cached, time.perf_counter() - started)
         result = super().contains(left, right)
         with engine._lock:
             engine._results.put(key, result)
+        if engine._store is not None:
+            engine._store.put("results", _store_token(key), result)
         return result
 
     def _replay(self, cached: ContainmentResult, elapsed: float) -> ContainmentResult:
@@ -198,10 +239,19 @@ class _CachingSolver(ContainmentSolver):
         key = extended_schema.canonical_fingerprint()
         with engine._lock:
             cached = engine._schema_tboxes.get(key)
-        if cached is None:
-            cached = super()._schema_tbox(extended_schema)
-            with engine._lock:
-                engine._schema_tboxes.put(key, cached)
+        if cached is not None:
+            return cached
+        if engine._store is not None:
+            cached = engine._store.get("schema-tboxes", key)
+            if cached is not None:
+                with engine._lock:
+                    engine._schema_tboxes.put(key, cached)
+                return cached
+        cached = super()._schema_tbox(extended_schema)
+        with engine._lock:
+            engine._schema_tboxes.put(key, cached)
+        if engine._store is not None:
+            engine._store.put("schema-tboxes", key, cached)
         return cached
 
     def _prepared_choices(self, reduction, right_name: str):
@@ -256,6 +306,8 @@ class ContainmentEngine:
         schema_tbox_cache_size: int = 128,
         automaton_cache_size: int = 4096,
         max_workers: Optional[int] = None,
+        persist: Optional[Any] = None,
+        persist_mode: str = "rw",
         nfa_cache_size: Optional[int] = None,
     ) -> None:
         if nfa_cache_size is not None:
@@ -276,6 +328,11 @@ class ContainmentEngine:
         self._contains_calls = 0
         self._batches = 0
         self._process_pool: Optional[Any] = None
+        # the second cache tier: memory → disk → solver (never blocks answers
+        # — an unopenable store is a disabled one, see repro.store)
+        self._store: Optional[ResultStore] = (
+            ResultStore(persist, mode=persist_mode) if persist is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # solver facade
@@ -421,10 +478,20 @@ class ContainmentEngine:
             for left, right, task_schema, task_config in normalized
         ]
         results = pool.check_many(tasks)
+        keys = [
+            _result_key(task_schema, left, right, task_config or self.default_config)
+            for (left, right, task_schema, task_config) in tasks
+        ]
         with self._lock:
-            for (left, right, task_schema, task_config), result in zip(tasks, results):
-                key = _result_key(task_schema, left, right, task_config or self.default_config)
+            for key, result in zip(keys, results):
                 self._results.put(key, result)
+        if self._store is not None:
+            # worker verdicts persist under the same keys the serial path
+            # uses, so a later run (or a warm-started worker) replays them;
+            # one transaction, and already-persisted verdicts are skipped
+            self._store.put_many(
+                "results", [(_store_token(key), result) for key, result in zip(keys, results)]
+            )
         return results
 
     def process_pool(self, max_workers: Optional[int] = None):
@@ -443,7 +510,15 @@ class ContainmentEngine:
                 self._process_pool = None
             if self._process_pool is None:
                 workers = max_workers or self.max_workers or default_worker_count()
-                self._process_pool = WorkerPool(workers, self.default_config)
+                # a persisting engine hands its store path to the pool so the
+                # spawned workers warm-start from disk (read-only: the parent
+                # stays the only writer)
+                persist = (
+                    self._store.path
+                    if self._store is not None and not self._store.disabled
+                    else None
+                )
+                self._process_pool = WorkerPool(workers, self.default_config, persist=persist)
             return self._process_pool
 
     def process_stats(self) -> Optional[EngineStats]:
@@ -455,15 +530,30 @@ class ContainmentEngine:
         return pool.stats()
 
     def shutdown(self) -> None:
-        """Stop the worker pool, if one was created (caches are kept)."""
+        """Stop the worker pool, if one was created (caches are kept).
+
+        The persistent store stays open — a long-lived engine keeps serving
+        disk hits after its pool is gone; :meth:`close` tears down both.
+        """
         with self._lock:
             pool, self._process_pool = self._process_pool, None
         if pool is not None:
             pool.close()
 
+    def close(self) -> None:
+        """Full teardown: stop the pool and close the persistent store."""
+        self.shutdown()
+        if self._store is not None:
+            self._store.close()
+
     # ------------------------------------------------------------------ #
     # statistics and cache management
     # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[ResultStore]:
+        """The persistent store, ``None`` unless constructed with ``persist=``."""
+        return self._store
+
     @property
     def stats(self) -> EngineStats:
         """An independent snapshot of all counters (safe to keep around)."""
@@ -475,6 +565,7 @@ class ContainmentEngine:
                 automata=self._automata.stats.snapshot(),
                 contains_calls=self._contains_calls,
                 batches=self._batches,
+                store=self._store.stats.snapshot() if self._store is not None else None,
             )
 
     def cache_sizes(self) -> Dict[str, int]:

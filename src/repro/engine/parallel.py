@@ -290,7 +290,19 @@ def _merge_cache_stats(name: str, snapshots: Sequence[CacheStats]) -> CacheStats
 
 
 def merge_stats(snapshots: Sequence[EngineStats]) -> EngineStats:
-    """Sum per-worker :class:`EngineStats` into one pool-wide aggregate."""
+    """Sum per-worker :class:`EngineStats` into one pool-wide aggregate.
+
+    The ``store`` block is merged only when at least one snapshot carries
+    one (i.e. the pool was warm-started from a persistent store).
+    """
+    store_snapshots = [s.store for s in snapshots if s.store is not None]
+    store = None
+    if store_snapshots:
+        from ..store import StoreStats
+
+        store = StoreStats()
+        for snapshot in store_snapshots:
+            store.merge(snapshot)
     return EngineStats(
         results=_merge_cache_stats("results", [s.results for s in snapshots]),
         completions=_merge_cache_stats("completions", [s.completions for s in snapshots]),
@@ -298,6 +310,7 @@ def merge_stats(snapshots: Sequence[EngineStats]) -> EngineStats:
         automata=_merge_cache_stats("automata", [s.automata for s in snapshots]),
         contains_calls=sum(s.contains_calls for s in snapshots),
         batches=sum(s.batches for s in snapshots),
+        store=store,
     )
 
 
@@ -334,14 +347,25 @@ def _run_task(engine: ContainmentEngine, kind: str, payload: Tuple) -> Any:
     raise ValueError(f"unknown task kind {kind!r}")
 
 
-def _worker_main(worker_id: int, config, cache_sizes: Dict[str, int], inbox, outbox) -> None:
-    """The worker loop: one warm engine, tasks in, results out."""
+def _worker_main(
+    worker_id: int, config, cache_sizes: Dict[str, int], persist, inbox, outbox
+) -> None:
+    """The worker loop: one warm engine, tasks in, results out.
+
+    *persist* (a path or ``None``) is the parent engine's store file; the
+    worker opens it **read-only**, so a spawned process warm-starts from
+    every verdict and schema TBox persisted by earlier runs without ever
+    contending for the write lock.  Write-backs of fresh worker verdicts
+    happen in the parent, on merge (single-writer discipline).
+    """
     engine = ContainmentEngine(
         config,
         result_cache_size=cache_sizes["results"],
         completion_cache_size=cache_sizes["completions"],
         schema_tbox_cache_size=cache_sizes["schema_tboxes"],
         automaton_cache_size=cache_sizes["automata"],
+        persist=persist,
+        persist_mode="ro",
     )
     while True:
         message = inbox.get()
@@ -398,6 +422,7 @@ class WorkerPool:
         schema_tbox_cache_size: int = 128,
         automaton_cache_size: int = 4096,
         start_method: str = "spawn",
+        persist: Optional[Any] = None,
         nfa_cache_size: Optional[int] = None,
     ) -> None:
         if nfa_cache_size is not None:
@@ -410,6 +435,9 @@ class WorkerPool:
             automaton_cache_size = nfa_cache_size
         self.workers = workers or default_worker_count()
         self.config = config
+        # workers open this store file read-only and warm-start from it; the
+        # parent engine remains the only writer
+        self.persist = str(persist) if persist is not None else None
         self._cache_sizes = {
             "results": result_cache_size,
             "completions": completion_cache_size,
@@ -470,7 +498,7 @@ class WorkerPool:
             inbox = self._context.Queue()
             process = self._context.Process(
                 target=_worker_main,
-                args=(worker_id, self.config, self._cache_sizes, inbox, self._outbox),
+                args=(worker_id, self.config, self._cache_sizes, self.persist, inbox, self._outbox),
                 daemon=True,
                 name=f"repro-engine-worker-{worker_id}",
             )

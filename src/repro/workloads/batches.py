@@ -25,6 +25,7 @@ __all__ = [
     "containment_batch",
     "fhir_batch",
     "medical_batch",
+    "mixed_batch",
     "social_batch",
     "synthetic_batch",
     "workload_schemas",
@@ -111,6 +112,26 @@ def synthetic_batch(length: int = 8) -> Tuple[Schema, List[Pair]]:
         left = C2RPQ([Atom(path, "x", "y")], ["x"], name=f"p{prefix}")
         pairs.extend((left, right) for right in rights)
     return schema, pairs
+
+
+def mixed_batch(length: int = 6) -> List[Tuple[Any, Any, Schema]]:
+    """Every built-in workload in one multi-schema batch.
+
+    Returns ``(left, right, schema)`` triples — the per-request-schema form
+    of :meth:`~repro.engine.ContainmentEngine.check_many` — concatenating
+    the medical, FHIR, social and ``synthetic(length)`` batches.  This is
+    the persistent-store benchmark's workload: four schemas with disjoint
+    fingerprints exercise every cache tier (results, schema TBoxes,
+    completions, automata) rather than letting one hot schema mask the
+    cold-start cost of the others.
+    """
+    requests: List[Tuple[Any, Any, Schema]] = []
+    for name in ("medical", "fhir", "social"):
+        schema, pairs = containment_batch(name)
+        requests.extend((left, right, schema) for left, right in pairs)
+    schema, pairs = synthetic_batch(length)
+    requests.extend((left, right, schema) for left, right in pairs)
+    return requests
 
 
 def containment_batch(name: str, *, length: int = 8) -> Tuple[Schema, List[Pair]]:

@@ -160,7 +160,9 @@ def test_bench_automata_suite_json_report(capsys):
     assert code == 0
     report = json.loads(capsys.readouterr().out)
     assert report["suite"] == "automata"
-    assert set(report) == {"suite", "compile", "enumeration", "prefix_sharing"}
+    assert set(report) == {"suite", "compile", "enumeration", "prefix_sharing", "context"}
+    assert report["context"]["cpu_count"] >= 1
+    assert report["context"]["rng_seed"] == 1729
     assert report["compile"]["regexes"] > 0
     assert report["compile"]["speedup"] > 0
     # corpus-specific expectation (see bench_automaton_compile.py), not an invariant
@@ -175,3 +177,85 @@ def test_bench_automata_suite_text_summary(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "compile:" in out and "prefix sharing:" in out
+
+
+def test_bench_backends_report_carries_context(capsys):
+    code = main(["bench", "--workload", "social", "--backends", "serial", "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suite"] == "backends"
+    context = report["context"]
+    assert context["cpu_count"] >= 1
+    assert context["python_version"].count(".") == 2
+    assert context["rng_seed"] == 1729
+
+
+def test_bench_store_suite_json_report(tmp_path, capsys):
+    store_file = tmp_path / "bench-store.db"
+    code = main(
+        ["bench", "--suite", "store", "--length", "2", "--persist", str(store_file), "--json", "-"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suite"] == "store"
+    assert report["fingerprints_identical"] is True
+    assert report["cold"]["store"]["writes"] >= report["tasks"]
+    assert report["warm"]["store"]["hits"] == report["tasks"]
+    assert report["store"]["tiers"]["results"] == report["tasks"]
+    assert report["context"]["rng_seed"] == 1729
+    assert store_file.exists()
+
+
+def test_batch_with_persist_reports_and_reuses_the_store(tmp_path, capsys):
+    store_file = tmp_path / "store.db"
+    assert main(["batch", "--workload", "social", "--persist", str(store_file)]) == 0
+    capsys.readouterr()
+    code = main(["batch", "--workload", "social", "--persist", str(store_file), "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["stats"]["engine"]["store"]["hits"] == report["tasks"]
+    assert report["store"]["tiers"]["results"] == report["tasks"]
+
+
+def test_cache_subcommand_round_trip(tmp_path, capsys):
+    store_file = tmp_path / "cache.db"
+
+    assert main(["cache", "warm", "--persist", str(store_file), "--workload", "medical"]) == 0
+    assert "warmed with medical" in capsys.readouterr().out
+
+    assert main(["cache", "stats", "--persist", str(store_file), "--json", "-"]) == 0
+    stats_report = json.loads(capsys.readouterr().out)
+    assert stats_report["tiers"]["results"] == 15
+    assert stats_report["disabled"] is False
+
+    assert main(["cache", "export", "--persist", str(store_file)]) == 0
+    export_report = json.loads(capsys.readouterr().out)
+    assert len(export_report["entries"]) == sum(stats_report["tiers"].values())
+    assert {entry["tier"] for entry in export_report["entries"]} == {
+        "results", "schema-tboxes",
+    }
+
+    assert main(["cache", "clear", "--persist", str(store_file), "--tier", "results"]) == 0
+    assert "dropped 15 entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--persist", str(store_file), "--json", "-"]) == 0
+    assert "results" not in json.loads(capsys.readouterr().out)["tiers"]
+
+
+def test_bench_store_suite_refuses_an_unopenable_store(tmp_path):
+    blocker = tmp_path / "not-a-directory"
+    blocker.write_text("parent is a file, the store can never open")
+    with pytest.raises(SystemExit, match="cannot open store"):
+        main(
+            ["bench", "--suite", "store", "--length", "2",
+             "--persist", str(blocker / "store.db")]
+        )
+
+
+def test_cache_stats_on_missing_store_reports_unavailable(tmp_path, capsys):
+    code = main(["cache", "stats", "--persist", str(tmp_path / "nope.db")])
+    assert code == 0
+    assert "unavailable" in capsys.readouterr().out
+
+
+def test_cache_export_on_missing_store_fails(tmp_path):
+    assert main(["cache", "export", "--persist", str(tmp_path / "nope.db")]) == 1

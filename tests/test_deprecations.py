@@ -1,0 +1,94 @@
+"""The deprecation shims: each emits exactly one ``DeprecationWarning`` per
+use and still produces correct results.
+
+One file for all of them (``nfa_cache_size`` on the engine and the worker
+pool, the ``_build_nfa`` solver hook, the module-level ``trim`` alias), so
+"what still warns" has a single home until the shims are removed.
+"""
+
+import warnings
+
+from repro.containment.solver import ContainmentSolver
+from repro.engine import ContainmentEngine
+from repro.engine.parallel import WorkerPool
+from repro.rpq import build_nfa, parse_regex
+from repro.rpq.automaton import trim
+from repro.workloads import medical
+
+
+def _exactly_one_deprecation(recorded):
+    deprecations = [w for w in recorded if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}: "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    return deprecations[0]
+
+
+def test_engine_nfa_cache_size_warns_once_and_is_honoured():
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        engine = ContainmentEngine(nfa_cache_size=7)
+    warning = _exactly_one_deprecation(recorded)
+    assert "automaton_cache_size" in str(warning.message)
+    assert engine._automata.maxsize == 7
+
+
+def test_worker_pool_nfa_cache_size_warns_once_and_is_honoured():
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        pool = WorkerPool(workers=1, nfa_cache_size=9)
+    warning = _exactly_one_deprecation(recorded)
+    assert "automaton_cache_size" in str(warning.message)
+    assert pool._cache_sizes["automata"] == 9
+    pool.close()  # never started; teardown is a no-op
+
+
+def test_build_nfa_hook_warns_once_and_matches_the_compiled_bundle():
+    solver = ContainmentSolver(medical.source_schema())
+    regex = parse_regex("designTarget . crossReacting*")
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        nfa = solver._build_nfa(regex)
+    warning = _exactly_one_deprecation(recorded)
+    assert "_compile_automaton" in str(warning.message)
+    # the shim resolves through the same memo as the modern hook
+    assert nfa is solver._compile_automaton(regex).nfa
+
+
+def test_build_nfa_via_super_warns_once_per_call_and_stays_correct():
+    class LegacySolver(ContainmentSolver):
+        def _build_nfa(self, regex):
+            return super()._build_nfa(regex)
+
+    solver = LegacySolver(medical.source_schema())
+    regex = parse_regex("designTarget")
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        nfa = solver._compile_automaton(regex).nfa
+    _exactly_one_deprecation(recorded)
+    assert nfa.state_count() > 0
+
+
+def test_module_level_trim_warns_once_and_matches_the_method():
+    nfa = build_nfa(parse_regex("a . b"))
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        alias_result = trim(nfa)
+    warning = _exactly_one_deprecation(recorded)
+    assert "nfa.trim()" in str(warning.message)
+    method_result = nfa.trim()
+    assert alias_result.state_count() == method_result.state_count()
+
+
+def test_modern_paths_emit_no_deprecation_warnings():
+    """The supported APIs must stay silent — shims only warn when used."""
+    schema = medical.source_schema()
+    engine = ContainmentEngine(automaton_cache_size=16)
+    solver = engine.solver(schema)
+    regex = parse_regex("designTarget . crossReacting*")
+    with warnings.catch_warnings(record=True) as recorded:
+        warnings.simplefilter("always")
+        solver._compile_automaton(regex)
+        build_nfa(regex).trim()
+    assert not [w for w in recorded if issubclass(w.category, DeprecationWarning)]

@@ -485,4 +485,5 @@ def test_super_build_nfa_call_does_not_recurse():
 
     solver = LegacySolver(medical.source_schema())
     regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
-    assert solver._compile_automaton(regex).nfa.state_count() > 0
+    with pytest.warns(DeprecationWarning, match="_compile_automaton"):
+        assert solver._compile_automaton(regex).nfa.state_count() > 0
