@@ -40,7 +40,7 @@ bench:
 docs-check:
 	$(PY) tools/docs_check.py
 
-# collect the three bench suites into BENCH_current.json and compare the
+# collect the four bench suites into BENCH_current.json and compare the
 # timings against the committed baseline (benchmarks/trend/BENCH_*.json);
 # informational — regressions print warnings, the target never fails on them
 trend:

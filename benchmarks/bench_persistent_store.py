@@ -43,14 +43,11 @@ def _run(persist):
     """
     requests = mixed_batch(length=MIX_LENGTH)
     clear_compile_memo()
-    engine = ContainmentEngine(persist=persist)
-    try:
+    with ContainmentEngine(persist=persist) as engine:
         started = time.perf_counter()
         results = engine.check_many(requests)
         elapsed = time.perf_counter() - started
         return [result_fingerprint(result) for result in results], elapsed, engine.stats
-    finally:
-        engine.close()
 
 
 def test_warm_store_speedup_gate(store_path):

@@ -1,0 +1,129 @@
+"""Service-throughput benchmark: coalesced versus per-request serving.
+
+Closed-loop client threads (each with exactly one outstanding request —
+the textbook load-generator shape) replay the deterministic mixed-schema
+request stream of :func:`repro.workloads.streams.request_stream` through
+two freshly started services:
+
+* **per-request** — coalescing disabled (zero window, batch size 1),
+  serial backend: every request is one engine call, the shape a single-shot
+  caller pays today;
+* **coalesced** — a real window and the process backend: concurrent client
+  requests micro-batch into ``check_many`` waves, deduplicate by canonical
+  fingerprint, and spread across the worker pool.
+
+Two claims:
+
+1. **determinism** — every response of both modes is fingerprint-identical
+   to a serial ``check_many`` baseline over the same stream (always
+   asserted, any machine; duplicates included — a deduplicated verdict must
+   be bit-equal to deciding the duplicate independently);
+2. **speedup** — on ≥ 4 cores the coalesced service clears **≥ 2×** the
+   per-request throughput (the acceptance gate; skipped with a diagnostic
+   on smaller machines, where the pool has no cores to spread over).
+
+Worker spawn is excluded from the timing (the service starts its pool
+eagerly, before the clock), matching every other backend benchmark; the
+coalescing *window* is deliberately **not** excluded — waiting is part of
+the serving design being measured.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import clear_compile_memo
+from repro.engine import ContainmentEngine, result_fingerprint
+from repro.service import ContainmentService
+from repro.workloads.streams import closed_loop, request_stream
+
+GATE_MIN_CORES = 4
+GATE_SPEEDUP = 2.0
+REQUESTS = 120
+CLIENTS = 16
+STREAM_LENGTH = 10  # synthetic chain length inside the mixed corpus
+WINDOW_SECONDS = 0.02
+MAX_BATCH = 64
+
+
+def _stream():
+    return request_stream(REQUESTS, length=STREAM_LENGTH)
+
+
+def _serial_baseline():
+    stream = _stream()
+    with ContainmentEngine() as engine:
+        results = engine.check_many([(left, right, schema) for left, right, schema in stream])
+    return [result_fingerprint(result) for result in results]
+
+
+def _run_service(window, max_batch, parallel, workers):
+    """One closed-loop run; returns (fingerprints, elapsed, coalescer stats)."""
+    stream = _stream()
+    clear_compile_memo()
+    with ContainmentService(
+        parallel=parallel, workers=workers, coalesce_window=window, max_batch=max_batch
+    ) as service:
+        started = time.perf_counter()
+        results = closed_loop(
+            stream,
+            lambda request: service.coalescer.check(request[0], request[1], request[2]),
+            clients=CLIENTS,
+        )
+        elapsed = time.perf_counter() - started
+        fingerprints = [result_fingerprint(result) for result in results]
+        return fingerprints, elapsed, service.coalescer.stats.snapshot()
+
+
+def test_coalesced_service_is_deterministic_and_actually_batches():
+    """Fingerprint identity + the coalescer visibly merging concurrent load
+    (independent of machine size)."""
+    baseline = _serial_baseline()
+    fingerprints, _, stats = _run_service(WINDOW_SECONDS, MAX_BATCH, "serial", None)
+    assert fingerprints == baseline, "coalesced service changed verdicts"
+    assert stats.submitted == REQUESTS
+    # closed-loop concurrency means real batches, not one request at a time
+    assert stats.batches < REQUESTS
+    assert stats.largest_batch > 1
+    # the stream's hot repeats coalesce into shared decisions
+    assert stats.deduplicated > 0
+
+
+def test_coalesced_throughput_gate():
+    """≥ 2× the per-request service on a ≥ 4-core machine (the acceptance
+    criterion)."""
+    cores = os.cpu_count() or 1
+    baseline = _serial_baseline()
+    workers = min(cores, 8)
+
+    per_request_fps, per_request_seconds, per_request_stats = _run_service(
+        0.0, 1, "serial", None
+    )
+    coalesced_fps, coalesced_seconds, coalesced_stats = _run_service(
+        WINDOW_SECONDS, MAX_BATCH, "process", workers
+    )
+
+    assert per_request_fps == baseline, "per-request service changed verdicts"
+    assert coalesced_fps == baseline, "coalesced+process service changed verdicts"
+    assert per_request_stats.largest_batch == 1  # coalescing really was off
+
+    speedup = per_request_seconds / coalesced_seconds if coalesced_seconds else float("inf")
+    print(
+        f"\nservice throughput: {REQUESTS} requests from {CLIENTS} closed-loop clients, "
+        f"{workers} workers on {cores} cores — "
+        f"per-request {per_request_seconds * 1000:.0f} ms "
+        f"({REQUESTS / per_request_seconds:.0f} req/s), "
+        f"coalesced {coalesced_seconds * 1000:.0f} ms "
+        f"({REQUESTS / coalesced_seconds:.0f} req/s), speedup {speedup:.2f}x "
+        f"({coalesced_stats.batches} batches, {coalesced_stats.deduplicated} deduplicated)"
+    )
+    if cores < GATE_MIN_CORES:
+        pytest.skip(
+            f"throughput gate needs >= {GATE_MIN_CORES} cores (found {cores}); "
+            "determinism was still asserted above"
+        )
+    assert speedup >= GATE_SPEEDUP, (
+        f"coalesced throughput speedup {speedup:.2f}x < required {GATE_SPEEDUP}x "
+        f"({workers} workers, {cores} cores)"
+    )

@@ -20,8 +20,11 @@ the full API:
 * :mod:`repro.engine` — the cached containment engine and its batch API;
 * :mod:`repro.store` — the disk-persistent result store behind
   ``ContainmentEngine(persist=path)``;
+* :mod:`repro.service` — the long-running containment service behind
+  ``python -m repro serve`` (request coalescer, HTTP/stdio transports; not
+  re-exported here — import :mod:`repro.service` directly);
 * :mod:`repro.workloads` — ready-made scenarios (the paper's medical example,
-  FHIR-style migrations, synthetic generators).
+  FHIR-style migrations, synthetic generators, service request streams).
 """
 
 from .graph import Graph, GraphBuilder

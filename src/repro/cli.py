@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands over the library's hot paths:
+Six subcommands over the library's hot paths:
 
 * ``contain`` — one containment test ``P ⊆_S Q``, schema from a spec file
   (the :mod:`repro.schema.parser` DSL) or a built-in workload;
@@ -21,7 +21,16 @@ Five subcommands over the library's hot paths:
   seed) so trend comparisons across runners are interpretable;
 * ``cache`` — manage a persistent store file: ``stats``, ``clear``,
   ``export`` (entry metadata as JSON) and ``warm`` (pre-populate from a
-  workload or spec file).
+  workload or spec file);
+* ``serve`` — the long-running containment service (:mod:`repro.service`):
+  one warm engine behind a request coalescer, over HTTP
+  (``--port``/``--host``, endpoints ``/contain``, ``/batch``, ``/healthz``,
+  ``/stats``) or newline-delimited JSON on stdio (``--stdio``), with
+  ``--parallel``/``--workers`` for the batch backend, ``--persist`` for the
+  disk store and ``--coalesce-window``/``--max-batch`` for the
+  micro-batching shape.  ``bench --suite service`` measures it: coalesced
+  versus per-request throughput under closed-loop client threads, verdict
+  fingerprints asserted identical to a serial baseline.
 
 ``contain``, ``typecheck`` and ``batch`` accept ``--persist PATH`` to put
 the disk store behind the engine (see :mod:`repro.store`); ``bench`` uses
@@ -43,6 +52,7 @@ Spec files for ``batch``/``bench``/``cache warm`` are JSON documents::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -174,8 +184,7 @@ def _cmd_contain(args: argparse.Namespace) -> int:
         schema = workload_schemas(args.workload, length=args.length)["source"]
     left = parse_c2rpq(args.left)
     right = parse_c2rpq(args.right)
-    engine = ContainmentEngine(persist=args.persist)
-    try:
+    with ContainmentEngine(persist=args.persist) as engine:
         result = engine.contains(left, right, schema)
         report = {
             "contained": result.contained,
@@ -191,8 +200,6 @@ def _cmd_contain(args: argparse.Namespace) -> int:
         if engine.store is not None:
             report["store"] = engine.store.describe()
         _emit(report, args.json, result.summary())
-    finally:
-        engine.close()
     return 0
 
 
@@ -227,7 +234,7 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         source, target = schemas["source"], schemas["target"]
 
     engine = ContainmentEngine(persist=args.persist) if args.persist else None
-    try:
+    with engine if engine is not None else contextlib.nullcontext():
         result = type_check(transformation, source, target, engine=engine)
         report = {
             "well_typed": result.well_typed,
@@ -242,16 +249,12 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         if engine is not None and engine.store is not None:
             report["store"] = engine.store.describe()
         _emit(report, args.json, result.summary())
-    finally:
-        if engine is not None:
-            engine.close()
     return 0 if result.well_typed else 1
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     label, schema, pairs = _resolve_batch(args)
-    engine = ContainmentEngine(persist=args.persist)
-    try:
+    with ContainmentEngine(persist=args.persist) as engine:
         results, elapsed = _run_backend(engine, args.backend, schema, pairs, args.workers)
         for _ in range(args.repeat - 1):
             results, elapsed = _run_backend(engine, args.backend, schema, pairs, args.workers)
@@ -275,8 +278,53 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{elapsed * 1000:.1f} ms ({contained} contained / {len(pairs) - contained} not)"
         )
         _emit(report, args.json, summary)
-    finally:
-        engine.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve`` — run the containment service over HTTP or stdio."""
+    from .service import ContainmentService, make_server, serve_stdio
+
+    service = ContainmentService(
+        parallel=args.parallel,
+        workers=args.workers,
+        persist=args.persist,
+        coalesce_window=args.coalesce_window / 1000.0,
+        max_batch=args.max_batch,
+    )
+    with service:
+        if args.stdio:
+            try:
+                counts = serve_stdio(service)
+            except KeyboardInterrupt:
+                # the same clean Ctrl-C contract as the HTTP transport: the
+                # with-block drains the coalescer and closes the engine
+                print("serve: interrupted, shutting down", file=sys.stderr)
+                return 0
+            print(
+                f"serve: handled {counts['requests']} requests "
+                f"({counts['errors']} errors) on stdio",
+                file=sys.stderr,
+            )
+            return 0
+        server = make_server(service, args.host, args.port, verbose=args.verbose)
+        # the bound port on its own line, machine-readable: smoke tests pass
+        # --port 0 and parse this to find the ephemeral port
+        print(f"repro service listening on {server.url}", flush=True)
+        print(
+            f"  backend={service.backend} window={args.coalesce_window:g}ms "
+            f"max-batch={args.max_batch} persist={args.persist or 'off'}",
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("serve: interrupted, shutting down", file=sys.stderr)
+        finally:
+            # serve_forever has already returned, so no cross-thread
+            # shutdown() is needed; release the socket, then the `with`
+            # closes the service (coalescer → engine → pool → store)
+            server.server_close()
     return 0
 
 
@@ -285,9 +333,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_automata(args)
     if args.suite == "store":
         return _cmd_bench_store(args)
+    if args.suite == "service":
+        return _cmd_bench_service(args)
     if args.repeats is not None or args.requests is not None:
         print(
-            "bench: --repeats/--requests only apply to --suite automata; ignoring",
+            "bench: --repeats/--requests only apply to --suite automata/service; ignoring",
             file=sys.stderr,
         )
     if args.persist:
@@ -306,8 +356,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     runs: Dict[str, Dict[str, Any]] = {}
     fingerprints = {}
     for backend in backends:
-        engine = ContainmentEngine()
-        try:
+        with ContainmentEngine() as engine:
             results, elapsed = _run_backend(engine, backend, schema, pairs, args.workers)
             fingerprints[backend] = _batch_fingerprint(results)
             runs[backend] = {
@@ -315,8 +364,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "throughput_per_second": len(pairs) / elapsed if elapsed else None,
                 "stats": _stats_block(engine, backend),
             }
-        finally:
-            engine.shutdown()
 
     identical = len(set(fingerprints.values())) == 1
     baseline = runs.get("serial") or runs[backends[0]]
@@ -433,8 +480,7 @@ def _cmd_bench_store(args: argparse.Namespace) -> int:
     def run(persist: Optional[Path]) -> Tuple[str, float, Dict[str, Any]]:
         requests = mixed_batch(length=args.length)
         clear_compile_memo()
-        engine = ContainmentEngine(persist=persist)
-        try:
+        with ContainmentEngine(persist=persist) as engine:
             if engine.store is not None and engine.store.disabled:
                 # measuring "cold vs warm" against a store that never opened
                 # would report a plausible ~1x number that measured nothing
@@ -448,8 +494,6 @@ def _cmd_bench_store(args: argparse.Namespace) -> int:
             if engine.store is not None:
                 block["store"] = engine.store.stats.as_dict()
             return _batch_fingerprint(results), elapsed, block
-        finally:
-            engine.close()
 
     try:
         tasks = len(mixed_batch(length=args.length))
@@ -487,6 +531,113 @@ def _cmd_bench_store(args: argparse.Namespace) -> int:
     finally:
         if temp_dir is not None:
             temp_dir.cleanup()
+    return 0 if identical else 1
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    """``bench --suite service`` — coalesced versus per-request throughput.
+
+    Closed-loop client threads replay the same deterministic mixed-schema
+    request stream (:func:`repro.workloads.streams.request_stream`) through
+    two freshly started services:
+
+    1. **per-request** — coalescing disabled (zero window, batch size 1),
+       serial backend: every request is one engine call, the single-shot
+       shape a caller pays today;
+    2. **coalesced** — the coalescing window and the process backend: the
+       service micro-batches the concurrent clients into ``check_many``
+       waves across the worker pool.
+
+    Both modes start cold (fresh engine, cleared compile memo; the process
+    pool's spawn is excluded like every other backend benchmark).  The
+    headline is ``speedup`` (per-request / coalesced elapsed); the exit
+    code is fingerprint identity of *both* modes against a serial
+    ``check_many`` baseline — the ≥ 2× gate itself lives in
+    ``benchmarks/bench_service_throughput.py``, which skips on < 4 cores.
+    """
+    from .core import clear_compile_memo
+    from .service import ContainmentService
+    from .workloads.streams import closed_loop, request_stream
+
+    ignored = []
+    if args.backends != "serial,thread,process":
+        ignored.append("--backends")
+    if args.repeats is not None:
+        ignored.append("--repeats")
+    if args.spec:
+        ignored.append("--spec")
+    if args.workload != "medical":
+        ignored.append("--workload")
+    if args.persist:
+        ignored.append("--persist")
+    if ignored:
+        print(
+            f"bench: {', '.join(ignored)} do(es) not apply to --suite service "
+            "(it replays the fixed mixed-schema request stream); ignoring",
+            file=sys.stderr,
+        )
+    context = _context_block()
+    request_count = args.requests if args.requests is not None else 96
+    clients = args.clients
+    workers = args.workers or min(os.cpu_count() or 1, 8)
+
+    baseline_stream = request_stream(request_count, length=args.length)
+    with ContainmentEngine() as engine:
+        baseline = engine.check_many([(left, right, schema) for left, right, schema in baseline_stream])
+    baseline_fps = [result_fingerprint(result) for result in baseline]
+
+    def run_mode(window_seconds: float, max_batch: int, parallel: str) -> Tuple[List[str], float, Dict[str, Any]]:
+        stream = request_stream(request_count, length=args.length)
+        clear_compile_memo()
+        with ContainmentService(
+            parallel=parallel,
+            workers=workers,
+            coalesce_window=window_seconds,
+            max_batch=max_batch,
+        ) as service:
+            started = time.perf_counter()
+            results = closed_loop(
+                stream,
+                lambda request: service.coalescer.check(request[0], request[1], request[2]),
+                clients=clients,
+            )
+            elapsed = time.perf_counter() - started
+            block = {
+                "elapsed_seconds": elapsed,
+                "throughput_per_second": len(stream) / elapsed if elapsed else None,
+                "coalescer": service.coalescer.stats.as_dict(),
+            }
+            return [result_fingerprint(result) for result in results], elapsed, block
+
+    per_request_fps, per_request_seconds, per_request_block = run_mode(0.0, 1, "serial")
+    coalesced_fps, coalesced_seconds, coalesced_block = run_mode(
+        args.coalesce_window / 1000.0, args.max_batch, "process"
+    )
+    identical = per_request_fps == baseline_fps and coalesced_fps == baseline_fps
+    report = {
+        "suite": "service",
+        "workload": f"stream(requests={request_count}, length={args.length})",
+        "requests": request_count,
+        "clients": clients,
+        "workers": workers,
+        "coalesce_window_ms": args.coalesce_window,
+        "max_batch": args.max_batch,
+        "per_request": per_request_block,
+        "coalesced": coalesced_block,
+        "speedup": per_request_seconds / coalesced_seconds if coalesced_seconds else None,
+        "fingerprints_identical": identical,
+        "context": context,
+    }
+    speedup_text = f"{report['speedup']:.2f}x" if report["speedup"] is not None else "inf"
+    summary = (
+        f"service: {request_count} streamed requests from {clients} closed-loop clients — "
+        f"per-request {per_request_seconds * 1000:.1f} ms, "
+        f"coalesced {coalesced_seconds * 1000:.1f} ms ({speedup_text} coalesced speedup, "
+        f"{coalesced_block['coalescer']['batches']} batches, "
+        f"{coalesced_block['coalescer']['deduplicated']} deduplicated)\n"
+        f"  verdicts identical to the serial baseline: {identical}"
+    )
+    _emit(report, args.json, summary)
     return 0 if identical else 1
 
 
@@ -540,8 +691,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     if args.cache_command == "warm":
         label, schema, pairs = _resolve_batch(args)
-        engine = ContainmentEngine(persist=path)
-        try:
+        with ContainmentEngine(persist=path) as engine:
             started = time.perf_counter()
             engine.check_many(pairs, schema=schema)
             elapsed = time.perf_counter() - started
@@ -557,8 +707,6 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             _emit(report, args.json,
                   f"{path}: warmed with {label} ({len(pairs)} tests, "
                   f"{store_block['stats']['writes']} writes, {entries} entries total)")
-        finally:
-            engine.close()
         return 0
 
     raise SystemExit(f"cache: unknown subcommand {args.cache_command!r}")
@@ -655,12 +803,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(bench)
     bench.add_argument(
         "--suite",
-        choices=("backends", "automata", "store"),
+        choices=("backends", "automata", "store", "service"),
         default="backends",
         help=(
             "benchmark suite: 'backends' compares execution backends on a workload, "
             "'automata' reports the compiled-automaton-core timings, 'store' the "
-            "cold-vs-warm contrast of the persistent result store (default: backends)"
+            "cold-vs-warm contrast of the persistent result store, 'service' the "
+            "coalesced-vs-per-request throughput of the serving layer "
+            "(default: backends)"
         ),
     )
     bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
@@ -680,7 +830,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests",
         type=int,
         default=None,
-        help="automata suite: word-list requests per regex in the enumeration timing (default: 50)",
+        help=(
+            "automata suite: word-list requests per regex in the enumeration timing "
+            "(default: 50); service suite: streamed request count (default: 96)"
+        ),
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="service suite: closed-loop client threads (default: 8)",
+    )
+    bench.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=5.0,
+        help="service suite: coalescing window in milliseconds (default: 5)",
+    )
+    bench.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="service suite: max coalesced batch size (default: 32)",
     )
     _add_persist_argument(
         bench,
@@ -689,6 +860,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_report_argument(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running containment service (HTTP or --stdio NDJSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port; 0 picks an ephemeral one (default: 8080)"
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve newline-delimited JSON on stdin/stdout instead of HTTP",
+    )
+    serve.add_argument(
+        "--parallel",
+        choices=BACKENDS,
+        default="serial",
+        help="backend coalesced batches run on (default: serial)",
+    )
+    serve.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=5.0,
+        help="coalescing window in milliseconds; 0 disables waiting (default: 5)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="max coalesced batch size (default: 64)"
+    )
+    _add_persist_argument(
+        serve, "disk-persistent result store file behind the service's engine"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request to stderr"
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     cache = subparsers.add_parser(
         "cache", help="inspect and manage a disk-persistent result store"

@@ -327,12 +327,41 @@ class ContainmentEngine:
         self._automata = LRUCache("automata", automaton_cache_size)
         self._contains_calls = 0
         self._batches = 0
+        self._closed = False
         self._process_pool: Optional[Any] = None
         # the second cache tier: memory → disk → solver (never blocks answers
         # — an unopenable store is a disabled one, see repro.store)
         self._store: Optional[ResultStore] = (
             ResultStore(persist, mode=persist_mode) if persist is not None else None
         )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        """Fail fast (and clearly) on a closed engine.
+
+        Without this check a closed engine would limp along on its disabled
+        store — or surface as ``sqlite3.ProgrammingError`` from deep inside a
+        write-back — instead of naming the actual mistake.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this ContainmentEngine has been closed; create a new engine "
+                "(close() tears down the worker pool and the persistent store)"
+            )
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run (statistics stay readable)."""
+        return self._closed
+
+    def __enter__(self) -> "ContainmentEngine":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # solver facade
@@ -346,6 +375,7 @@ class ContainmentEngine:
         drops into every API that accepts a solver (``trim``,
         ``check_label_coverage``, ``StatementChecker``, …).
         """
+        self._ensure_open()
         return _CachingSolver(self, schema, config)
 
     def contains(
@@ -409,6 +439,7 @@ class ContainmentEngine:
         All three backends return bit-identical results (asserted by
         fingerprint in the tests and ``benchmarks/bench_parallel_scaling.py``).
         """
+        self._ensure_open()
         backend = self._normalise_backend(parallel)
         normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]] = []
         for request in requests:
@@ -505,6 +536,7 @@ class ContainmentEngine:
         """
         from .parallel import WorkerPool, default_worker_count
 
+        self._ensure_open()
         with self._lock:
             if self._process_pool is not None and self._process_pool.closed:
                 self._process_pool = None
@@ -541,8 +573,20 @@ class ContainmentEngine:
             pool.close()
 
     def close(self) -> None:
-        """Full teardown: stop the pool and close the persistent store."""
+        """Full teardown, in dependency order: pool first, then the store.
+
+        The pool goes first because its final merge-backs write through this
+        engine; the store closes last so nothing tries to persist into a dead
+        handle.  Idempotent — a second ``close()`` is a no-op — and terminal:
+        further ``contains``/``check_many``/``solver`` calls raise a clear
+        :class:`RuntimeError` instead of degrading silently (or surfacing as
+        ``sqlite3.ProgrammingError``).  Statistics stay readable for
+        post-mortem reports.
+        """
+        if self._closed:
+            return
         self.shutdown()
+        self._closed = True
         if self._store is not None:
             self._store.close()
 

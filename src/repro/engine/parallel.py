@@ -532,6 +532,10 @@ class WorkerPool:
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
+        self._release_locked()
+
+    def _release_locked(self) -> None:
+        """The shared teardown tail: free the queues, forget the workers."""
         for inbox in self._inboxes:
             inbox.close()
         if self._outbox is not None:
@@ -539,6 +543,31 @@ class WorkerPool:
         self._processes.clear()
         self._inboxes.clear()
         self._outbox = None
+
+    def _abort_locked(self) -> None:
+        """Immediate teardown for an interrupted batch; caller holds the lock.
+
+        The graceful path (:meth:`_teardown_locked`) asks each worker to
+        finish via a sentinel and then joins with a 5 s timeout *per process,
+        serially* — after a Ctrl-C mid-batch that can hold the terminal for
+        ``5 × workers`` seconds while spawn children keep burning CPU.  Here
+        every worker is terminated first (in parallel — SIGTERM is
+        asynchronous), then joined briefly, then killed if it still lingers;
+        a mid-chase worker's state is unrecoverable anyway, and the engine
+        builds a fresh pool on the next batch.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(timeout=1.0)
+        self._release_locked()
 
     def __enter__(self) -> "WorkerPool":
         return self.start()
@@ -564,7 +593,11 @@ class WorkerPool:
         the pool lock so interleaved batches cannot steal each other's
         replies.  A worker-side exception does not abort the rest of that
         worker's shard; after all replies arrive the first failure (in
-        request order) is raised as :class:`WorkerError`.
+        request order) is raised as :class:`WorkerError`.  An *interrupt*
+        (KeyboardInterrupt/SIGINT, SystemExit) mid-batch shuts the pool down
+        promptly — workers are terminated in parallel rather than left to the
+        ``atexit`` hook's serial 5-second joins — and the interrupt
+        propagates.
         """
         if len(payloads) != len(routing_keys):
             raise ValueError("run_batch: payloads and routing keys must align")
@@ -576,20 +609,32 @@ class WorkerPool:
             chunks: Dict[int, List[Tuple[int, Tuple]]] = {}
             for index, (payload, worker) in enumerate(zip(payloads, assignment)):
                 chunks.setdefault(worker, []).append((index, payload))
-            for worker, chunk in chunks.items():
-                self._inboxes[worker].put(("tasks", kind, chunk))
             results: List[Any] = [None] * len(payloads)
             errors: List[Tuple[int, int, str, str]] = []
-            for _ in range(len(chunks)):
-                message = self._receive()
-                if message[0] != "results":  # pragma: no cover - defensive
-                    raise WorkerError(f"unexpected reply while running a batch: {message[0]!r}")
-                _, worker_id, reply = message
-                for entry in reply:
-                    if entry[1] == "ok":
-                        results[entry[0]] = entry[2]
-                    else:
-                        errors.append((entry[0], worker_id, entry[2], entry[3]))
+            try:
+                # the abort window opens before the first put: once any chunk
+                # is in flight, an un-aborted pool would hold replies a later
+                # batch could misattribute to its own indices
+                for worker, chunk in chunks.items():
+                    self._inboxes[worker].put(("tasks", kind, chunk))
+                for _ in range(len(chunks)):
+                    message = self._receive()
+                    if message[0] != "results":  # pragma: no cover - defensive
+                        raise WorkerError(
+                            f"unexpected reply while running a batch: {message[0]!r}"
+                        )
+                    _, worker_id, reply = message
+                    for entry in reply:
+                        if entry[1] == "ok":
+                            results[entry[0]] = entry[2]
+                        else:
+                            errors.append((entry[0], worker_id, entry[2], entry[3]))
+            except (KeyboardInterrupt, SystemExit):
+                # the workers are mid-chase and their replies are now
+                # unclaimable; leaving them alive would burn CPU until the
+                # atexit joins (5 s each, serially) finally reaped them
+                self._abort_locked()
+                raise
             if errors:
                 errors.sort()
                 index, worker_id, description, remote_traceback = errors[0]

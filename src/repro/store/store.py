@@ -130,6 +130,12 @@ class ResultStore:
         self._digest_memo: "weakref.WeakKeyDictionary[Any, Any]" = weakref.WeakKeyDictionary()
         try:
             self._connection = self._open()
+        except _NoStoreYet as reason:
+            # a read-only open of a file nobody has created yet — the normal
+            # state of a worker warm-starting before the parent's first
+            # write-back.  Disabled, but *clean*: no error is counted, so
+            # merged pool stats stay noise-free.
+            self.disabled_reason = str(reason)
         except (sqlite3.Error, OSError) as error:
             self._disable(f"{type(error).__name__}: {error}")
 
@@ -138,6 +144,12 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     def _open(self) -> sqlite3.Connection:
         if self.mode == "ro":
+            if not self.path.exists():
+                # distinguish "nothing persisted yet" from a real open
+                # failure: sqlite would report the unhelpful "unable to open
+                # database file" and we would count an error for what is a
+                # perfectly ordinary cold start
+                raise _NoStoreYet(f"no store file yet at {self.path}")
             # URI mode=ro refuses to create a file and rejects writes at the
             # sqlite level, so a worker can never corrupt the parent's store
             uri = f"file:{self.path.as_posix()}?mode=ro"
@@ -492,3 +504,8 @@ class ResultStore:
 
 class _Restamp(Exception):
     """Internal: a writable open found a stale stamp and must wipe the file."""
+
+
+class _NoStoreYet(Exception):
+    """Internal: a read-only open found no file — a clean "nothing persisted
+    yet" state, not an error (no error counter, no stats noise)."""

@@ -13,18 +13,25 @@ Re-exports (submodules):
   families for scaling benchmarks;
 * :mod:`repro.workloads.batches` — ready-made containment batches over all
   of the above (the input format of ``check_many``, the CLI and the
-  parallel-scaling benchmark), plus :data:`~repro.workloads.batches.BUILTIN_WORKLOADS`.
+  parallel-scaling benchmark), plus :data:`~repro.workloads.batches.BUILTIN_WORKLOADS`;
+* :mod:`repro.workloads.streams` — deterministic mixed-schema request
+  streams with hot repeats (service traffic replays for the serving layer,
+  its benchmark and the CI smoke check).
 """
 
-from . import batches, fhir, medical, social, synthetic
+from . import batches, fhir, medical, social, streams, synthetic
 from .batches import BUILTIN_WORKLOADS, containment_batch
+from .streams import request_payloads, request_stream
 
 __all__ = [
     "batches",
     "fhir",
     "medical",
     "social",
+    "streams",
     "synthetic",
     "BUILTIN_WORKLOADS",
     "containment_batch",
+    "request_payloads",
+    "request_stream",
 ]

@@ -259,3 +259,37 @@ def test_cache_stats_on_missing_store_reports_unavailable(tmp_path, capsys):
 
 def test_cache_export_on_missing_store_fails(tmp_path):
     assert main(["cache", "export", "--persist", str(tmp_path / "nope.db")]) == 1
+
+
+def test_bench_service_suite_json_report(capsys):
+    code = main(
+        ["bench", "--suite", "service", "--requests", "10", "--clients", "4",
+         "--workers", "2", "--length", "2", "--json", "-"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suite"] == "service"
+    assert report["fingerprints_identical"] is True
+    assert report["per_request"]["coalescer"]["largest_batch"] == 1
+    assert report["coalesced"]["coalescer"]["submitted"] == 10
+    assert report["context"]["rng_seed"] == 1729
+
+
+def test_serve_stdio_round_trip(monkeypatch, capsys):
+    import io
+    import sys as real_sys
+
+    lines = [
+        json.dumps(
+            {"workload": "medical", "left": "p(x) := (designTarget)(x, y)",
+             "right": "q(x) := Vaccine(x)", "id": 1}
+        ),
+        json.dumps({"op": "shutdown"}),
+    ]
+    monkeypatch.setattr(real_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code = main(["serve", "--stdio", "--coalesce-window", "0"])
+    assert code == 0
+    responses = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert responses[0]["contained"] is True
+    assert responses[0]["id"] == 1
+    assert responses[-1] == {"ok": True}

@@ -487,3 +487,51 @@ def test_super_build_nfa_call_does_not_recurse():
     regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
     with pytest.warns(DeprecationWarning, match="_compile_automaton"):
         assert solver._compile_automaton(regex).nfa.state_count() > 0
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle: context manager, idempotent close, use-after-close
+# --------------------------------------------------------------------------- #
+def test_engine_context_manager_closes_and_rejects_use_after_close(tmp_path):
+    schema = medical.source_schema()
+    left = parse_c2rpq("p(x) := (designTarget)(x, y)")
+    right = parse_c2rpq("q(x) := Vaccine(x)")
+
+    with ContainmentEngine(persist=tmp_path / "store.db") as engine:
+        assert engine.contains(left, right, schema).contained
+        assert not engine.closed
+    assert engine.closed
+    assert engine.store.disabled  # the store went down with the engine
+
+    engine.close()  # double close is a documented no-op, not an error
+
+    # use-after-close names the mistake instead of limping along on a dead
+    # store (or surfacing as sqlite3.ProgrammingError from a write-back)
+    with pytest.raises(RuntimeError, match="has been closed"):
+        engine.contains(left, right, schema)
+    with pytest.raises(RuntimeError, match="has been closed"):
+        engine.check_many([(left, right)], schema=schema)
+    with pytest.raises(RuntimeError, match="has been closed"):
+        engine.solver(schema)
+    with pytest.raises(RuntimeError, match="has been closed"):
+        engine.process_pool()
+
+    # statistics stay readable for post-mortem reports
+    assert engine.stats.contains_calls == 1
+    assert engine.stats.store is not None
+
+
+def test_engine_context_manager_closes_on_exceptions():
+    engine = ContainmentEngine()
+    with pytest.raises(ValueError, match="boom"):
+        with engine:
+            raise ValueError("boom")
+    assert engine.closed
+
+
+def test_entering_a_closed_engine_raises():
+    engine = ContainmentEngine()
+    engine.close()
+    with pytest.raises(RuntimeError, match="has been closed"):
+        with engine:
+            pass  # pragma: no cover - the enter must already have raised

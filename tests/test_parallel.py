@@ -329,3 +329,33 @@ def test_analysis_jobs_validate_their_shape():
         check_equivalence_many(
             [(medical.migration(), medical.redundant_migration(), "not-a-schema")]
         )
+
+
+def test_interrupted_batch_shuts_the_pool_down_promptly(monkeypatch):
+    """A KeyboardInterrupt mid-batch must not leave spawn children alive
+    behind the atexit hook's serial 5-second joins."""
+    import time
+
+    from repro.engine.parallel import WorkerPool
+
+    schema, pairs = containment_batch("medical")
+    pool = WorkerPool(2)
+    pool.start()
+    processes = list(pool._processes)
+    assert all(process.is_alive() for process in processes)
+
+    def interrupted_receive():
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(pool, "_receive", interrupted_receive)
+    started = time.perf_counter()
+    with pytest.raises(KeyboardInterrupt):
+        pool.check_many([(left, right, schema, None) for left, right in pairs[:4]])
+    elapsed = time.perf_counter() - started
+
+    assert pool.closed
+    assert all(not process.is_alive() for process in processes), (
+        "interrupted pool left live children"
+    )
+    # parallel terminate, not one serial 5 s join per worker
+    assert elapsed < 5.0, f"interrupt teardown took {elapsed:.1f}s"

@@ -175,8 +175,39 @@ def test_read_only_open_of_missing_file_degrades_gracefully(store_path, medical_
     schema, pairs, baseline = medical_baseline
     engine = ContainmentEngine(persist=store_path, persist_mode="ro")
     assert engine.store.disabled
+    assert engine.store.stats.errors == 0  # a cold start is not an error
     assert _fingerprints(engine.check_many(pairs, schema=schema)) == baseline
     engine.close()
+
+
+def test_read_only_open_of_missing_file_is_a_clean_no_store_state(store_path):
+    """Regression: a worker warm-starting before the parent's first write-back
+    used to record ``OperationalError: unable to open database file`` and
+    count an error; it must get a clean "no store yet" disabled state."""
+    store = ResultStore(store_path, mode="ro")
+    assert store.disabled
+    assert "no store file yet" in store.disabled_reason
+    assert "OperationalError" not in store.disabled_reason
+    assert store.stats.errors == 0
+    assert store.get("results", "anything") is None  # counts a miss, not an error
+    assert store.put("results", "key", 1) is False
+    assert store.stats.errors == 0
+    store.close()
+
+
+def test_pool_warm_start_before_first_write_back_is_noise_free(store_path):
+    """A pool pointed at a store file nobody has created yet must report
+    clean merged stats — no error noise from the workers' read-only opens."""
+    from repro.engine import WorkerPool
+
+    schema, pairs = medical_batch()
+    with WorkerPool(1, persist=store_path) as pool:
+        results = pool.check_many([(left, right, schema, None) for left, right in pairs[:2]])
+        stats = pool.stats()
+    assert len(results) == 2
+    assert stats.store is not None
+    assert stats.store.errors == 0
+    assert stats.store.hits == 0
 
 
 def test_concurrent_writers_degrade_gracefully(store_path, medical_baseline):

@@ -4,8 +4,9 @@
 Two modes:
 
 ``collect``
-    Run the three ``python -m repro bench`` suites in-process — the backend
-    comparison, the automata suite and the persistent-store suite — and
+    Run the four ``python -m repro bench`` suites in-process — the backend
+    comparison, the automata suite, the persistent-store suite and the
+    service-throughput suite — and
     write one combined JSON report (``BENCH_<pr>.json`` shape).  Every
     embedded suite report carries the CLI's ``context`` block (CPU count,
     Python version, platform, fixed RNG seed), so a reader can judge
@@ -48,6 +49,7 @@ SUITES = (
     ("backends", ["bench", "--workload", "synthetic", "--length", "10"]),
     ("automata", ["bench", "--suite", "automata", "--repeats", "3", "--requests", "20"]),
     ("store", ["bench", "--suite", "store", "--length", "6"]),
+    ("service", ["bench", "--suite", "service", "--requests", "48", "--length", "4"]),
 )
 
 
