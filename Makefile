@@ -40,7 +40,8 @@ bench:
 docs-check:
 	$(PY) tools/docs_check.py
 
-# collect the four bench suites into BENCH_current.json and compare the
+# collect the five bench suites (backends, automata, store, service, zoo)
+# into BENCH_current.json and compare the
 # timings against the committed baseline (benchmarks/trend/BENCH_*.json);
 # informational — regressions print warnings, the target never fails on them
 trend:

@@ -36,6 +36,7 @@ import pytest
 from repro.core import clear_compile_memo
 from repro.engine import ContainmentEngine, result_fingerprint
 from repro.service import ContainmentService
+from repro.workloads.replay import latency_percentiles
 from repro.workloads.streams import closed_loop, request_stream
 
 GATE_MIN_CORES = 4
@@ -59,28 +60,38 @@ def _serial_baseline():
 
 
 def _run_service(window, max_batch, parallel, workers):
-    """One closed-loop run; returns (fingerprints, elapsed, coalescer stats)."""
+    """One closed-loop run; returns (fingerprints, elapsed, stats, percentiles).
+
+    Per-request latency is timed around each coalescer call, so the
+    p50/p95/p99 report reflects what one client waits — window included,
+    by design — not just the aggregate wall clock.
+    """
     stream = _stream()
     clear_compile_memo()
+    latencies = [0.0] * len(stream)
     with ContainmentService(
         parallel=parallel, workers=workers, coalesce_window=window, max_batch=max_batch
     ) as service:
+
+        def call(indexed):
+            index, (left, right, schema) = indexed
+            begun = time.perf_counter()
+            result = service.coalescer.check(left, right, schema)
+            latencies[index] = time.perf_counter() - begun
+            return result
+
         started = time.perf_counter()
-        results = closed_loop(
-            stream,
-            lambda request: service.coalescer.check(request[0], request[1], request[2]),
-            clients=CLIENTS,
-        )
+        results = closed_loop(list(enumerate(stream)), call, clients=CLIENTS)
         elapsed = time.perf_counter() - started
         fingerprints = [result_fingerprint(result) for result in results]
-        return fingerprints, elapsed, service.coalescer.stats.snapshot()
+        return fingerprints, elapsed, service.coalescer.stats.snapshot(), latency_percentiles(latencies)
 
 
 def test_coalesced_service_is_deterministic_and_actually_batches():
     """Fingerprint identity + the coalescer visibly merging concurrent load
     (independent of machine size)."""
     baseline = _serial_baseline()
-    fingerprints, _, stats = _run_service(WINDOW_SECONDS, MAX_BATCH, "serial", None)
+    fingerprints, _, stats, _ = _run_service(WINDOW_SECONDS, MAX_BATCH, "serial", None)
     assert fingerprints == baseline, "coalesced service changed verdicts"
     assert stats.submitted == REQUESTS
     # closed-loop concurrency means real batches, not one request at a time
@@ -97,10 +108,10 @@ def test_coalesced_throughput_gate():
     baseline = _serial_baseline()
     workers = min(cores, 8)
 
-    per_request_fps, per_request_seconds, per_request_stats = _run_service(
+    per_request_fps, per_request_seconds, per_request_stats, per_request_latency = _run_service(
         0.0, 1, "serial", None
     )
-    coalesced_fps, coalesced_seconds, coalesced_stats = _run_service(
+    coalesced_fps, coalesced_seconds, coalesced_stats, coalesced_latency = _run_service(
         WINDOW_SECONDS, MAX_BATCH, "process", workers
     )
 
@@ -116,7 +127,14 @@ def test_coalesced_throughput_gate():
         f"({REQUESTS / per_request_seconds:.0f} req/s), "
         f"coalesced {coalesced_seconds * 1000:.0f} ms "
         f"({REQUESTS / coalesced_seconds:.0f} req/s), speedup {speedup:.2f}x "
-        f"({coalesced_stats.batches} batches, {coalesced_stats.deduplicated} deduplicated)"
+        f"({coalesced_stats.batches} batches, {coalesced_stats.deduplicated} deduplicated)\n"
+        f"  per-request latency p50/p95/p99: "
+        f"{per_request_latency['p50_seconds'] * 1000:.1f} / "
+        f"{per_request_latency['p95_seconds'] * 1000:.1f} / "
+        f"{per_request_latency['p99_seconds'] * 1000:.1f} ms; "
+        f"coalesced: {coalesced_latency['p50_seconds'] * 1000:.1f} / "
+        f"{coalesced_latency['p95_seconds'] * 1000:.1f} / "
+        f"{coalesced_latency['p99_seconds'] * 1000:.1f} ms"
     )
     if cores < GATE_MIN_CORES:
         pytest.skip(

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands over the library's hot paths:
+Seven subcommands over the library's hot paths:
 
 * ``contain`` — one containment test ``P ⊆_S Q``, schema from a spec file
   (the :mod:`repro.schema.parser` DSL) or a built-in workload;
@@ -14,9 +14,12 @@ Six subcommands over the library's hot paths:
   fingerprint-identical verdicts and reporting per-backend speedups; with
   ``--suite automata`` it instead reports the compiled-automaton-core
   timings (cold vs memoized compilation, enumeration reuse, prefix
-  sharing — harness in :mod:`repro.core.benchmarks`), and with
+  sharing — harness in :mod:`repro.core.benchmarks`), with
   ``--suite store`` the cold-vs-warm contrast of the disk-persistent
-  result store on a mixed workload.  Every bench report embeds a
+  result store on a mixed workload, and with ``--suite zoo`` the workload
+  zoo (:mod:`repro.workloads.zoo`: the seeded property-based corpus plus
+  the hardness-derived adversarial families) across backends with
+  fingerprint identity as the exit code.  Every bench report embeds a
   ``context`` block (CPU count, Python version, platform, the fixed RNG
   seed) so trend comparisons across runners are interpretable;
 * ``cache`` — manage a persistent store file: ``stats``, ``clear``,
@@ -29,8 +32,16 @@ Six subcommands over the library's hot paths:
   ``--parallel``/``--workers`` for the batch backend, ``--persist`` for the
   disk store and ``--coalesce-window``/``--max-batch`` for the
   micro-batching shape.  ``bench --suite service`` measures it: coalesced
-  versus per-request throughput under closed-loop client threads, verdict
-  fingerprints asserted identical to a serial baseline.
+  versus per-request throughput under closed-loop client threads with
+  p50/p95/p99 latency percentiles per mode, verdict fingerprints asserted
+  identical to a serial baseline;
+* ``replay`` — record and replay NDJSON traffic traces
+  (:mod:`repro.workloads.replay`): ``replay --record trace.ndjson``
+  generates a seeded multi-tenant trace (hot/cold mixes, bursts,
+  duplicate storms) stamped with expected ``result_fingerprint``s, and
+  ``replay trace.ndjson`` re-runs it through a fresh service, asserting
+  every verdict bit-identical to the recording (the exit code) and
+  reporting latency percentiles plus the coalescer's dedup counters.
 
 ``contain``, ``typecheck`` and ``batch`` accept ``--persist PATH`` to put
 the disk store behind the engine (see :mod:`repro.store`); ``bench`` uses
@@ -335,6 +346,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_store(args)
     if args.suite == "service":
         return _cmd_bench_service(args)
+    if args.suite == "zoo":
+        return _cmd_bench_zoo(args)
     if args.repeats is not None or args.requests is not None:
         print(
             "bench: --repeats/--requests only apply to --suite automata/service; ignoring",
@@ -534,6 +547,91 @@ def _cmd_bench_store(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_bench_zoo(args: argparse.Namespace) -> int:
+    """``bench --suite zoo`` — the workload zoo across execution backends.
+
+    Runs the full zoo corpus (:func:`repro.workloads.zoo.zoo_corpus`: the
+    seeded property-based pairs plus the tree-device and ATM-fragment
+    adversarial families) through every requested backend on a fresh
+    engine, and asserts the flattened verdict fingerprint identical across
+    backends — the differential check of ``tests/test_differential.py`` as
+    a runnable benchmark.  ``--requests`` scales the property corpus
+    (pairs ≈ requests; the adversarial families ride along at fixed size).
+    """
+    from .workloads.zoo import zoo_corpus
+
+    ignored = []
+    if args.spec:
+        ignored.append("--spec")
+    if args.workload != "medical":
+        ignored.append("--workload")
+    if args.length != 8:
+        ignored.append("--length")
+    if args.repeats is not None:
+        ignored.append("--repeats")
+    if args.persist:
+        ignored.append("--persist")
+    if ignored:
+        print(
+            f"bench: {', '.join(ignored)} do(es) not apply to --suite zoo "
+            "(it runs the seeded zoo corpus); ignoring",
+            file=sys.stderr,
+        )
+    backends = [backend.strip() for backend in args.backends.split(",") if backend.strip()]
+    unknown = [backend for backend in backends if backend not in BACKENDS]
+    if unknown:
+        raise SystemExit(f"bench: unknown backend(s) {', '.join(unknown)}")
+
+    context = _context_block()
+    property_pairs = args.requests if args.requests is not None else 72
+    queries_per_schema = 12
+    schemas = max(1, property_pairs // queries_per_schema)
+    corpus = zoo_corpus(schemas=schemas, queries_per_schema=queries_per_schema)
+    requests = [
+        (left, right, schema) for family in corpus.values() for left, right, schema in family
+    ]
+
+    runs: Dict[str, Dict[str, Any]] = {}
+    fingerprints: Dict[str, str] = {}
+    for backend in backends:
+        with ContainmentEngine() as engine:
+            results, elapsed = _run_backend(engine, backend, None, requests, args.workers)
+            fingerprints[backend] = _batch_fingerprint(results)
+            runs[backend] = {
+                "elapsed_seconds": elapsed,
+                "throughput_per_second": len(requests) / elapsed if elapsed else None,
+                "stats": _stats_block(engine, backend),
+            }
+    identical = len(set(fingerprints.values())) == 1
+    baseline = runs.get("serial") or runs[backends[0]]
+    for run in runs.values():
+        run["speedup_vs_serial"] = (
+            baseline["elapsed_seconds"] / run["elapsed_seconds"] if run["elapsed_seconds"] else None
+        )
+    report = {
+        "suite": "zoo",
+        "families": {name: {"tasks": len(family)} for name, family in corpus.items()},
+        "tasks": len(requests),
+        "workers": args.workers or default_worker_count(),
+        "backends": runs,
+        "fingerprints": fingerprints,
+        "verdicts_identical": identical,
+        "context": context,
+    }
+    family_text = ", ".join(f"{name}: {len(family)}" for name, family in corpus.items())
+    lines = [f"zoo: {len(requests)} containment tests ({family_text})"]
+    for backend in backends:
+        run = runs[backend]
+        speedup = run["speedup_vs_serial"]
+        lines.append(
+            f"  {backend:8s} {run['elapsed_seconds'] * 1000:9.1f} ms  "
+            f"{f'{speedup:.2f}x' if speedup is not None else 'inf'} vs serial"
+        )
+    lines.append(f"  verdicts identical across backends: {identical}")
+    _emit(report, args.json, "\n".join(lines))
+    return 0 if identical else 1
+
+
 def _cmd_bench_service(args: argparse.Namespace) -> int:
     """``bench --suite service`` — coalesced versus per-request throughput.
 
@@ -557,6 +655,7 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     """
     from .core import clear_compile_memo
     from .service import ContainmentService
+    from .workloads.replay import latency_percentiles
     from .workloads.streams import closed_loop, request_stream
 
     ignored = []
@@ -589,22 +688,28 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     def run_mode(window_seconds: float, max_batch: int, parallel: str) -> Tuple[List[str], float, Dict[str, Any]]:
         stream = request_stream(request_count, length=args.length)
         clear_compile_memo()
+        latencies = [0.0] * len(stream)
         with ContainmentService(
             parallel=parallel,
             workers=workers,
             coalesce_window=window_seconds,
             max_batch=max_batch,
         ) as service:
+
+            def call(indexed):
+                index, (left, right, schema) = indexed
+                begun = time.perf_counter()
+                result = service.coalescer.check(left, right, schema)
+                latencies[index] = time.perf_counter() - begun
+                return result
+
             started = time.perf_counter()
-            results = closed_loop(
-                stream,
-                lambda request: service.coalescer.check(request[0], request[1], request[2]),
-                clients=clients,
-            )
+            results = closed_loop(list(enumerate(stream)), call, clients=clients)
             elapsed = time.perf_counter() - started
             block = {
                 "elapsed_seconds": elapsed,
                 "throughput_per_second": len(stream) / elapsed if elapsed else None,
+                "latency": latency_percentiles(latencies),
                 "coalescer": service.coalescer.stats.as_dict(),
             }
             return [result_fingerprint(result) for result in results], elapsed, block
@@ -635,10 +740,87 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
         f"coalesced {coalesced_seconds * 1000:.1f} ms ({speedup_text} coalesced speedup, "
         f"{coalesced_block['coalescer']['batches']} batches, "
         f"{coalesced_block['coalescer']['deduplicated']} deduplicated)\n"
+        f"  coalesced latency p50/p95/p99: "
+        f"{coalesced_block['latency']['p50_seconds'] * 1000:.1f} / "
+        f"{coalesced_block['latency']['p95_seconds'] * 1000:.1f} / "
+        f"{coalesced_block['latency']['p99_seconds'] * 1000:.1f} ms\n"
         f"  verdicts identical to the serial baseline: {identical}"
     )
     _emit(report, args.json, summary)
     return 0 if identical else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """``replay`` — record or replay an NDJSON traffic trace.
+
+    ``--record`` generates a seeded multi-tenant trace, stamps every line
+    with its expected ``result_fingerprint`` from a serial baseline (unless
+    ``--no-stamp``) and writes it to the trace path.  Without ``--record``,
+    the trace is replayed through a fresh in-process service and every
+    stamped line's fingerprint is compared bit-for-bit; any mismatch is a
+    determinism violation and the exit code is 1.
+    """
+    from .service import ContainmentService
+    from .workloads.replay import (
+        generate_trace,
+        read_trace,
+        replay_trace,
+        stamp_expected,
+        write_trace,
+    )
+
+    path = Path(args.trace)
+    if args.record:
+        trace = generate_trace(args.requests, seed=args.seed, tenants=args.tenants)
+        if not args.no_stamp:
+            trace = stamp_expected(trace)
+        write_trace(trace, path)
+        stamped = sum(1 for request in trace.requests if request.expected is not None)
+        report = {"trace": str(path), "meta": trace.meta,
+                  "unique_payloads": trace.unique_payloads(), "stamped": stamped}
+        _emit(report, args.json,
+              f"{path}: recorded {len(trace)} requests "
+              f"({trace.unique_payloads()} unique payloads, {stamped} stamped, "
+              f"seed {args.seed})")
+        return 0
+
+    trace = read_trace(path)
+    if not trace.requests:
+        raise SystemExit(f"replay: {path} holds no requests")
+    if args.stamp:
+        trace = stamp_expected(trace)
+    with ContainmentService(
+        parallel=args.parallel,
+        workers=args.workers,
+        persist=args.persist,
+        coalesce_window=args.coalesce_window / 1000.0,
+        max_batch=args.max_batch,
+    ) as service:
+        outcome = replay_trace(service, trace, clients=args.clients, pace=args.pace)
+        stats = service.stats_report()
+    report = {
+        "trace": str(path),
+        "meta": trace.meta,
+        "backend": service.backend,
+        **outcome.as_dict(),
+        "coalescer": stats["coalescer"],
+    }
+    latency = report["latency"]
+    verdict_text = (
+        f"all {report['stamped']} stamped fingerprints replayed bit-identically"
+        if outcome.matches
+        else f"{len(outcome.mismatches)} fingerprint MISMATCH(ES) at lines {outcome.mismatches}"
+    )
+    summary = (
+        f"{path}: replayed {len(trace)} requests from {args.clients} clients on the "
+        f"{service.backend} backend in {outcome.elapsed_seconds * 1000:.1f} ms "
+        f"({stats['coalescer']['deduplicated']} deduplicated)\n"
+        f"  latency p50/p95/p99: {latency['p50_seconds'] * 1000:.1f} / "
+        f"{latency['p95_seconds'] * 1000:.1f} / {latency['p99_seconds'] * 1000:.1f} ms\n"
+        f"  {verdict_text}"
+    )
+    _emit(report, args.json, summary)
+    return 0 if outcome.matches else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -803,14 +985,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(bench)
     bench.add_argument(
         "--suite",
-        choices=("backends", "automata", "store", "service"),
+        choices=("backends", "automata", "store", "service", "zoo"),
         default="backends",
         help=(
             "benchmark suite: 'backends' compares execution backends on a workload, "
             "'automata' reports the compiled-automaton-core timings, 'store' the "
             "cold-vs-warm contrast of the persistent result store, 'service' the "
-            "coalesced-vs-per-request throughput of the serving layer "
-            "(default: backends)"
+            "coalesced-vs-per-request throughput of the serving layer with "
+            "p50/p95/p99 latency percentiles, 'zoo' the property-based plus "
+            "adversarial workload zoo across backends (default: backends)"
         ),
     )
     bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
@@ -832,7 +1015,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "automata suite: word-list requests per regex in the enumeration timing "
-            "(default: 50); service suite: streamed request count (default: 96)"
+            "(default: 50); service suite: streamed request count (default: 96); "
+            "zoo suite: property-based pair count (default: 72)"
         ),
     )
     bench.add_argument(
@@ -897,6 +1081,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="record or replay an NDJSON traffic trace through the service",
+    )
+    replay.add_argument(
+        "trace", help="the NDJSON trace file (replayed, or written with --record)"
+    )
+    replay.add_argument(
+        "--record",
+        action="store_true",
+        help="generate a seeded trace and write it to the trace path instead of replaying",
+    )
+    replay.add_argument(
+        "--requests", type=int, default=120, help="record: trace length (default: 120)"
+    )
+    replay.add_argument(
+        "--seed", type=int, default=20230808, help="record: trace RNG seed (default: 20230808)"
+    )
+    replay.add_argument(
+        "--tenants", type=int, default=6, help="record: tenant count (default: 6)"
+    )
+    replay.add_argument(
+        "--no-stamp",
+        action="store_true",
+        help="record: skip stamping expected result fingerprints",
+    )
+    replay.add_argument(
+        "--stamp",
+        action="store_true",
+        help="replay: re-stamp expected fingerprints serially before replaying",
+    )
+    replay.add_argument(
+        "--clients", type=int, default=8, help="replay: closed-loop client threads (default: 8)"
+    )
+    replay.add_argument(
+        "--pace",
+        type=float,
+        default=None,
+        help=(
+            "replay: honour recorded arrival offsets at this speed factor "
+            "(1.0 = real time; default: as fast as possible)"
+        ),
+    )
+    replay.add_argument(
+        "--parallel",
+        choices=BACKENDS,
+        default="serial",
+        help="replay: backend coalesced batches run on (default: serial)",
+    )
+    replay.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
+    replay.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=5.0,
+        help="replay: coalescing window in milliseconds (default: 5)",
+    )
+    replay.add_argument(
+        "--max-batch", type=int, default=64, help="replay: max coalesced batch size (default: 64)"
+    )
+    _add_persist_argument(
+        replay, "replay: disk-persistent result store file behind the service's engine"
+    )
+    _add_report_argument(replay)
+    replay.set_defaults(handler=_cmd_replay)
 
     cache = subparsers.add_parser(
         "cache", help="inspect and manage a disk-persistent result store"

@@ -293,3 +293,75 @@ def test_serve_stdio_round_trip(monkeypatch, capsys):
     assert responses[0]["contained"] is True
     assert responses[0]["id"] == 1
     assert responses[-1] == {"ok": True}
+
+
+def test_bench_zoo_suite_json_report(capsys):
+    code = main(
+        ["bench", "--suite", "zoo", "--requests", "12", "--backends", "serial,thread",
+         "--json", "-"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suite"] == "zoo"
+    assert set(report["families"]) == {"property", "tree-device", "atm-fragments"}
+    assert report["verdicts_identical"] is True
+    assert set(report["backends"]) == {"serial", "thread"}
+    assert len(set(report["fingerprints"].values())) == 1
+
+
+def test_replay_record_then_replay_round_trip(tmp_path, capsys):
+    trace_path = tmp_path / "trace.ndjson"
+    code = main(["replay", "--record", str(trace_path), "--requests", "20", "--json", "-"])
+    assert code == 0
+    record_report = json.loads(capsys.readouterr().out)
+    assert record_report["stamped"] == 20
+    assert trace_path.exists()
+
+    code = main(["replay", str(trace_path), "--clients", "4", "--json", "-"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["matches"] is True
+    assert report["stamped"] == 20
+    assert report["mismatches"] == []
+    assert set(report["latency"]) == {"p50_seconds", "p95_seconds", "p99_seconds"}
+    assert report["coalescer"]["submitted"] == 20
+
+
+def test_replay_exit_code_flags_a_tampered_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.ndjson"
+    assert main(["replay", "--record", str(trace_path), "--requests", "10"]) == 0
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    tampered = json.loads(lines[1])
+    tampered["result_fingerprint"] = "0" * 64
+    lines[1] = json.dumps(tampered, sort_keys=True, separators=(",", ":"))
+    trace_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    code = main(["replay", str(trace_path), "--clients", "2"])
+    assert code == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_recorded_trace_replays_through_serve_stdio(monkeypatch, tmp_path, capsys):
+    """The acceptance loop: record → ``python -m repro serve --stdio`` →
+    every response fingerprint equals the trace's stamped expectation, in
+    trace order (the stdio transport answers in input order)."""
+    import io
+    import sys as real_sys
+
+    trace_path = tmp_path / "trace.ndjson"
+    assert main(["replay", "--record", str(trace_path), "--requests", "15"]) == 0
+    capsys.readouterr()
+
+    expected = []
+    lines = []
+    for line in trace_path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        if "request" not in record:
+            continue
+        expected.append(record["result_fingerprint"])
+        lines.append(json.dumps(record["request"]))
+    monkeypatch.setattr(real_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+    code = main(["serve", "--stdio", "--coalesce-window", "2"])
+    assert code == 0
+    responses = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert [response["fingerprint"] for response in responses] == expected

@@ -1,0 +1,95 @@
+"""The workload zoo: generator determinism, DSL round-trips, family shapes.
+
+The zoo's load-bearing property is *textual transportability*: every
+generated schema must survive ``schema_to_text`` → ``parse_schema`` with an
+identical canonical fingerprint, and every generated query must survive
+``str`` → ``parse_c2rpq`` with an identical canonical token and name —
+otherwise replay traces and the service wire format would silently decide
+different instances than the in-process corpus.
+"""
+
+import random
+
+import pytest
+
+from repro.rpq.parser import parse_c2rpq
+from repro.schema.parser import parse_schema, schema_to_text
+from repro.workloads.zoo import (
+    ZOO_FAMILIES,
+    ZOO_SEED,
+    atm_fragment_suite,
+    property_corpus,
+    random_pair,
+    random_schema,
+    tree_device_suite,
+    zoo_corpus,
+)
+
+
+def test_property_corpus_is_reproducible():
+    first = property_corpus(ZOO_SEED, schemas=3, queries_per_schema=4)
+    second = property_corpus(ZOO_SEED, schemas=3, queries_per_schema=4)
+    assert len(first) == 12
+    assert [(str(l), str(r), s.canonical_fingerprint()) for l, r, s in first] == [
+        (str(l), str(r), s.canonical_fingerprint()) for l, r, s in second
+    ]
+
+
+def test_different_seeds_differ():
+    first = property_corpus(1, schemas=2, queries_per_schema=3)
+    second = property_corpus(2, schemas=2, queries_per_schema=3)
+    assert [str(l) for l, _, _ in first] != [str(l) for l, _, _ in second]
+
+
+def test_schemas_have_disjoint_fingerprints():
+    corpus = property_corpus(ZOO_SEED, schemas=6, queries_per_schema=1)
+    fingerprints = {schema.canonical_fingerprint() for _, _, schema in corpus}
+    assert len(fingerprints) == 6
+
+
+def test_generated_schemas_round_trip_through_the_dsl():
+    rng = random.Random(99)
+    for index in range(10):
+        schema = random_schema(rng, index)
+        parsed = parse_schema(schema_to_text(schema))
+        assert parsed.canonical_fingerprint() == schema.canonical_fingerprint()
+
+
+def test_generated_queries_round_trip_through_their_source_text():
+    rng = random.Random(99)
+    schema = random_schema(rng, 0)
+    for _ in range(25):
+        left, right = random_pair(rng, schema, "t")
+        for query in (left, right):
+            parsed = parse_c2rpq(str(query))
+            assert parsed.canonical_token() == query.canonical_token()
+            assert parsed.name == query.name
+
+
+def test_corpus_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        property_corpus(schemas=0)
+    with pytest.raises(ValueError):
+        random_schema(random.Random(0), node_labels=0)
+    with pytest.raises(ValueError):
+        zoo_corpus(families=("no-such-family",))
+
+
+def test_tree_device_suite_shape():
+    suite = tree_device_suite()
+    assert len(suite) == 5
+    schema = suite[0][2]
+    assert all(pair[2] is schema for pair in suite)  # one shared schema
+
+
+def test_atm_fragment_suite_has_both_directions():
+    suite = atm_fragment_suite(words=("11",), max_fragments_per_instance=4)
+    names = [left.name for left, _, _ in suite]
+    assert any(name.startswith("frag_") for name in names)
+    assert not names[-1].startswith("frag_")  # the reverse (union ⊄ head) pair
+
+
+def test_zoo_corpus_defaults_cover_every_family():
+    corpus = zoo_corpus(schemas=1, queries_per_schema=2)
+    assert set(corpus) == {"property", *ZOO_FAMILIES}
+    assert all(corpus.values())

@@ -4,9 +4,10 @@
 Two modes:
 
 ``collect``
-    Run the four ``python -m repro bench`` suites in-process — the backend
-    comparison, the automata suite, the persistent-store suite and the
-    service-throughput suite — and
+    Run the five ``python -m repro bench`` suites in-process — the backend
+    comparison, the automata suite, the persistent-store suite, the
+    service-throughput suite (with p50/p95/p99 latency percentiles) and the
+    workload-zoo suite — and
     write one combined JSON report (``BENCH_<pr>.json`` shape).  Every
     embedded suite report carries the CLI's ``context`` block (CPU count,
     Python version, platform, fixed RNG seed), so a reader can judge
@@ -50,6 +51,7 @@ SUITES = (
     ("automata", ["bench", "--suite", "automata", "--repeats", "3", "--requests", "20"]),
     ("store", ["bench", "--suite", "store", "--length", "6"]),
     ("service", ["bench", "--suite", "service", "--requests", "48", "--length", "4"]),
+    ("zoo", ["bench", "--suite", "zoo", "--requests", "24", "--backends", "serial,thread"]),
 )
 
 
