@@ -34,16 +34,16 @@ bench:
 		exit 1; \
 	fi
 	@echo "bench: discovered $(words $(BENCH_FILES)) suites: $(BENCH_FILES)"
-	$(PY) -m pytest -q -s $(BENCH_FILES)
+	$(PY) -m pytest -q -s -rs $(BENCH_FILES)
 
 # execute README/docs code blocks and validate internal doc references
 docs-check:
 	$(PY) tools/docs_check.py
 
 # collect the five bench suites (backends, automata, store, service, zoo)
-# into BENCH_current.json and compare the
-# timings against the committed baseline (benchmarks/trend/BENCH_*.json);
-# informational — regressions print warnings, the target never fails on them
+# into BENCH_current.json and compare the timings against the committed
+# baseline (benchmarks/trend/BENCH_*.json); regressions in the blocking
+# suites (backends, service) fail the target, the rest print warnings
 trend:
 	$(PY) tools/bench_trend.py collect --output BENCH_current.json
 	$(PY) tools/bench_trend.py compare --current BENCH_current.json

@@ -89,7 +89,7 @@ from .workloads.batches import (
 
 __all__ = ["main"]
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "auto")
 
 #: The RNG seed recorded in (and applied before) every bench report, so any
 #: randomised corpus or tie-breaking is reproducible run to run.
@@ -178,10 +178,15 @@ def _run_backend(
 
 def _stats_block(engine: ContainmentEngine, backend: str) -> Dict[str, Any]:
     block = {"engine": engine.stats.as_dict()}
-    if backend == "process":
+    if backend in ("process", "auto"):
         process_stats = engine.process_stats()
         if process_stats is not None:
             block["workers"] = process_stats.as_dict()
+        transport = engine.transport_report()
+        if transport is not None:
+            block["transport"] = transport
+    if backend == "auto":
+        block["adaptive"] = engine.adaptive_report()
     return block
 
 
@@ -642,12 +647,14 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     1. **per-request** — coalescing disabled (zero window, batch size 1),
        serial backend: every request is one engine call, the single-shot
        shape a caller pays today;
-    2. **coalesced** — the coalescing window and the process backend: the
-       service micro-batches the concurrent clients into ``check_many``
-       waves across the worker pool.
+    2. **coalesced** — the coalescing window and the service's default
+       ``auto`` backend: the service micro-batches the concurrent clients
+       into ``check_many`` waves, and the adaptive selector fans each wave
+       out to the worker pool only when its measured per-item solve cost
+       beats the transport cost (on a small box it simply stays serial —
+       the honest choice the old pinned-``process`` mode got wrong).
 
-    Both modes start cold (fresh engine, cleared compile memo; the process
-    pool's spawn is excluded like every other backend benchmark).  The
+    Both modes start cold (fresh engine, cleared compile memo).  The
     headline is ``speedup`` (per-request / coalesced elapsed); the exit
     code is fingerprint identity of *both* modes against a serial
     ``check_many`` baseline — the ≥ 2× gate itself lives in
@@ -716,7 +723,7 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
 
     per_request_fps, per_request_seconds, per_request_block = run_mode(0.0, 1, "serial")
     coalesced_fps, coalesced_seconds, coalesced_block = run_mode(
-        args.coalesce_window / 1000.0, args.max_batch, "process"
+        args.coalesce_window / 1000.0, args.max_batch, "auto"
     )
     identical = per_request_fps == baseline_fps and coalesced_fps == baseline_fps
     report = {
@@ -1061,8 +1068,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--parallel",
         choices=BACKENDS,
-        default="serial",
-        help="backend coalesced batches run on (default: serial)",
+        default="auto",
+        help=(
+            "backend coalesced batches run on; 'auto' measures per-item solve "
+            "and serialization cost and picks serial/thread/process per batch "
+            "(default: auto)"
+        ),
     )
     serve.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
     serve.add_argument(
@@ -1129,7 +1140,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel",
         choices=BACKENDS,
         default="serial",
-        help="replay: backend coalesced batches run on (default: serial)",
+        help=(
+            "replay: backend coalesced batches run on; 'auto' lets the engine "
+            "pick from measured cost (default: serial)"
+        ),
     )
     replay.add_argument("--workers", type=int, default=None, help="worker count for thread/process")
     replay.add_argument(
@@ -1160,7 +1174,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_persist_argument(cache_clear, "the store file to clear", required=True)
     cache_clear.add_argument(
         "--tier",
-        choices=("results", "schema-tboxes"),
+        choices=("results", "schema-tboxes", "schemas"),
         default=None,
         help="clear only one tier (default: everything)",
     )

@@ -5,7 +5,7 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
 
 * :class:`ContainmentEngine` — owns the fingerprint-keyed caches (verdicts,
   completions + chase engines, schema TBox encodings, compiled automata) and the
-  ``check_many`` batch API with serial/thread/process backends; constructed
+  ``check_many`` batch API with serial/thread/process/auto backends; constructed
   with ``persist=path`` it adds the disk-persistent second tier
   (:class:`repro.store.ResultStore`) that worker processes warm-start from;
 * :class:`ContainmentRequest` — one ``(left, right, schema, config)`` unit of
@@ -14,7 +14,12 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
 * :class:`LRUCache` — the bounded cache primitive;
 * :class:`WorkerPool` / :class:`WorkerError` — the process-parallel backend:
   persistent worker processes, each with its own warm engine, sharded by
-  schema fingerprint (``repro.engine.parallel``);
+  schema fingerprint (``repro.engine.parallel``), fed through the cheap
+  reference transport of ``repro.engine.transport``;
+* :class:`AdaptiveSelector` / :class:`CostProfile` — the measured cost model
+  behind ``parallel="auto"`` (``repro.engine.adaptive``);
+* :class:`TransportStats` / :class:`WorkerTransportStats` — the reference
+  protocol's parent- and worker-side counters;
 * :func:`merge_stats` / :func:`result_fingerprint` — pool-wide statistics
   aggregation and the verdict digest used to assert backend determinism;
 * :func:`default_engine` — the process-wide engine used by the stateless
@@ -22,6 +27,7 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
 * :func:`reset_default_engine` — drop the shared engine (test isolation).
 """
 
+from .adaptive import AdaptiveSelector, CostProfile
 from .cache import CacheStats, LRUCache
 from .engine import (
     ContainmentEngine,
@@ -31,15 +37,20 @@ from .engine import (
     reset_default_engine,
 )
 from .parallel import WorkerError, WorkerPool, merge_stats, result_fingerprint
+from .transport import TransportStats, WorkerTransportStats
 
 __all__ = [
+    "AdaptiveSelector",
     "CacheStats",
+    "CostProfile",
     "LRUCache",
     "ContainmentEngine",
     "ContainmentRequest",
     "EngineStats",
+    "TransportStats",
     "WorkerError",
     "WorkerPool",
+    "WorkerTransportStats",
     "merge_stats",
     "result_fingerprint",
     "default_engine",

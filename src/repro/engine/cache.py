@@ -93,6 +93,15 @@ class LRUCache:
             self._data.popitem(last=False)
             self.stats.evictions += 1
 
+    def items(self) -> list:
+        """A list snapshot of ``(key, value)`` pairs, oldest to most recent.
+
+        Recency and counters are untouched — this is an inspection API (the
+        engine uses it to harvest warm automata bundles for worker seeding),
+        not a lookup path.
+        """
+        return list(self._data.items())
+
     def prune(self, predicate) -> int:
         """Drop every entry whose key satisfies *predicate*; returns the count.
 

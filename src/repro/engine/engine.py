@@ -70,6 +70,7 @@ from ..containment.solver import (
 from ..rpq.queries import UC2RPQ
 from ..schema.schema import Schema
 from ..store import ResultStore, StoreStats
+from .adaptive import AdaptiveSelector
 from .cache import CacheStats, LRUCache
 
 __all__ = [
@@ -329,6 +330,8 @@ class ContainmentEngine:
         self._batches = 0
         self._closed = False
         self._process_pool: Optional[Any] = None
+        # per-schema cost profiles behind parallel="auto" (repro.engine.adaptive)
+        self._selector = AdaptiveSelector()
         # the second cache tier: memory → disk → solver (never blocks answers
         # — an unopenable store is a disabled one, see repro.store)
         self._store: Optional[ResultStore] = (
@@ -435,8 +438,14 @@ class ContainmentEngine:
           :class:`~repro.engine.parallel.TBoxDigest` — it answers
           ``canonical_fingerprint()``/``size()`` exactly like the real
           completed TBox but does not carry the statements themselves.
+        * ``"auto"`` — measure, then choose: the first batch over a schema
+          pays a calibration probe (its first item solved serially, timed,
+          plus one timed pickle of the request) and the
+          :class:`~repro.engine.adaptive.AdaptiveSelector` picks one of the
+          three backends per batch from the recorded per-schema cost
+          profile, the batch size, the core count and the pool state.
 
-        All three backends return bit-identical results (asserted by
+        All backends return bit-identical results (asserted by
         fingerprint in the tests and ``benchmarks/bench_parallel_scaling.py``).
         """
         self._ensure_open()
@@ -464,8 +473,21 @@ class ContainmentEngine:
         with self._lock:
             self._batches += 1
 
+        if backend == "auto" and normalized:
+            return self._check_many_adaptive(normalized, max_workers)
         if backend == "process" and normalized:
             return self._check_many_in_processes(normalized, max_workers)
+        if backend in ("auto", "process"):
+            backend = "serial"  # empty batch: nothing to fan out
+        return self._check_many_local(normalized, backend, max_workers)
+
+    def _check_many_local(
+        self,
+        normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]],
+        backend: str,
+        max_workers: Optional[int],
+    ) -> List[ContainmentResult]:
+        """The in-process backends: serial, or a thread pool."""
 
         def run(task: Tuple[Any, Any, Schema, Optional[ContainmentConfig]]) -> ContainmentResult:
             left, right, task_schema, task_config = task
@@ -484,12 +506,65 @@ class ContainmentEngine:
             return "serial"
         if parallel is True or parallel == "thread":
             return "thread"
-        if parallel == "process":
-            return "process"
+        if parallel in ("process", "auto"):
+            return parallel
         raise ValueError(
             f"check_many: unknown backend {parallel!r} "
-            "(expected False/'serial', True/'thread' or 'process')"
+            "(expected False/'serial', True/'thread', 'process' or 'auto')"
         )
+
+    def _check_many_adaptive(
+        self,
+        normalized: List[Tuple[Any, Any, Schema, Optional[ContainmentConfig]]],
+        max_workers: Optional[int],
+    ) -> List[ContainmentResult]:
+        """``parallel="auto"``: measure (or recall) costs, then pick a backend.
+
+        When the batch's schemas have no recorded profile, the first item is
+        solved serially as a *calibration probe* — its timed solve plus one
+        timed ``pickle.dumps`` of the request seed the profile, and its
+        result is part of the answer, so the probe costs nothing extra.  The
+        remainder runs on whatever :class:`~repro.engine.adaptive.AdaptiveSelector`
+        picks from the profile, the batch size and the pool state.  Serial
+        runs feed their per-item timings back into the profile, so the
+        selector keeps tracking a drifting workload.
+        """
+        selector = self._selector
+        fingerprints = [task[2].canonical_fingerprint() for task in normalized]
+        profile = selector.profile_for(fingerprints)
+        probed: List[ContainmentResult] = []
+        remainder = normalized
+        remainder_fps = fingerprints
+        if profile is None:
+            left, right, task_schema, task_config = normalized[0]
+            started = time.perf_counter()
+            probed.append(self.contains(left, right, task_schema, task_config))
+            solve_seconds = time.perf_counter() - started
+            transport_seconds = selector.measure_transport(normalized[0])
+            selector.observe(fingerprints[0], solve_seconds, transport_seconds)
+            profile = selector.profile_for([fingerprints[0]])
+            remainder = normalized[1:]
+            remainder_fps = fingerprints[1:]
+        if not remainder:
+            return probed
+
+        with self._lock:
+            pool = self._process_pool
+            pool_ready = pool is not None and pool.started and not pool.closed
+        backend = selector.choose(
+            len(remainder),
+            profile,
+            workers=max_workers or self.max_workers,
+            pool_ready=pool_ready,
+        )
+        if backend == "process":
+            return probed + self._check_many_in_processes(remainder, max_workers)
+        results = self._check_many_local(remainder, backend, max_workers)
+        if backend == "serial":
+            # free refresh of the solve estimate (transport stays as measured)
+            for fingerprint, result in zip(remainder_fps, results):
+                selector.observe(fingerprint, result.elapsed_seconds)
+        return probed + results
 
     def _check_many_in_processes(
         self,
@@ -508,6 +583,21 @@ class ContainmentEngine:
             (_as_union(left, "P"), _as_union(right, "Q"), task_schema, task_config)
             for left, right, task_schema, task_config in normalized
         ]
+        unique_schemas: Dict[str, Schema] = {}
+        for _, _, task_schema, _ in tasks:
+            fingerprint = task_schema.canonical_fingerprint()
+            unique_schemas.setdefault(fingerprint, task_schema)
+        if self._store is not None:
+            # persist the batch's schemas (content-addressed, skip-if-present)
+            # so workers can resolve the transport layer's schema references
+            # from the shared read-only store even across pool restarts
+            self._store.put_many("schemas", list(unique_schemas.items()))
+        with self._lock:
+            bundles = [bundle for _key, bundle in self._automata.items()]
+        # hand any warm automata for these schemas to the workers (symbol
+        # tables + computed DFAs via shared memory); a cold parent ships
+        # nothing and the workers compile locally, bit-identically
+        pool.seed(bundles, set(unique_schemas))
         results = pool.check_many(tasks)
         keys = [
             _result_key(task_schema, left, right, task_config or self.default_config)
@@ -560,6 +650,23 @@ class ContainmentEngine:
         if pool is None or not pool.started:
             return None
         return pool.stats()
+
+    @property
+    def selector(self) -> AdaptiveSelector:
+        """The cost model behind ``parallel="auto"`` (injectable in tests)."""
+        return self._selector
+
+    def adaptive_report(self) -> Dict[str, Any]:
+        """The selector's decision counters and last decision, JSON-ready."""
+        return self._selector.report()
+
+    def transport_report(self) -> Optional[Dict[str, Any]]:
+        """The pool's transport counters, ``None`` before the pool exists."""
+        with self._lock:
+            pool = self._process_pool
+        if pool is None:
+            return None
+        return pool.transport_report()
 
     def shutdown(self) -> None:
         """Stop the worker pool, if one was created (caches are kept).

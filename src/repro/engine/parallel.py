@@ -18,16 +18,22 @@ Three design points (docs/ARCHITECTURE.md, "The process-parallel backend"):
   so parallelism never collapses while cache affinity degrades gracefully.
   :func:`plan_routing` is a pure, deterministic function of the batch.
 
-* **Everything that crosses the process boundary is pickled — and kept
-  lean.**  Requests (queries, schemas, configs) and results (verdicts,
-  witness graphs, finite counterexamples) are plain picklable objects;
-  workers are started via the ``spawn`` method so they never inherit locks
-  or caches from the parent.  Each worker receives its whole shard as one
-  message and replies with one message, so objects shared across requests
-  (the schema, a completion reused by many results) are pickled once per
-  worker, not once per request.  The one deliberately *lossy* boundary: a
-  result's ``completion.tbox`` — the completed Horn TBox, easily hundreds
-  of kilobytes and only ever consumed via ``canonical_fingerprint()``/
+* **The process boundary is cheap: references out, digests back.**
+  Workers are started via the ``spawn`` method so they never inherit locks
+  or caches from the parent; each receives its whole shard as one message
+  and replies with one message.  Containment requests ship through the
+  reference protocol of :mod:`repro.engine.transport`: a schema or query the
+  worker has already seen crosses as a canonical-fingerprint *token* instead
+  of a pickled object, resolved worker-side against a bounded catalog and —
+  for schemas of a persisting engine — the shared read-only
+  :class:`~repro.store.ResultStore` (``"schemas"`` tier).  Unresolvable
+  tokens degrade to full-payload transport via a ``"miss"`` round-trip, so
+  eviction and restarts cost latency, never correctness.  Warm parents
+  additionally broadcast a context *seed* (interned symbol tables plus
+  computed DFA transition arrays) through one shared-memory segment (pickle
+  fallback, ``REPRO_NO_SHM=1`` forces it).  On the way back, a result's
+  ``completion.tbox`` — the completed Horn TBox, easily hundreds of
+  kilobytes and only ever consumed via ``canonical_fingerprint()``/
   ``size()`` — is replaced by a :class:`TBoxDigest` carrying exactly those
   two answers (computed worker-side from the real bits); the full TBox
   stays in the worker's completion cache.  Worker-side exceptions travel
@@ -63,6 +69,20 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..containment.solver import ContainmentConfig, ContainmentResult, _as_union
 from .cache import CacheStats
 from .engine import ContainmentEngine, EngineStats
+from .transport import (
+    SeedSegment,
+    TokenCatalog,
+    TransportStats,
+    WorkerTransportStats,
+    build_context_seed,
+    decode_payload,
+    encode_payload,
+    install_context_seed,
+    load_seed,
+    publish_seed,
+    query_token,
+    schema_token,
+)
 
 __all__ = [
     "TBoxDigest",
@@ -367,16 +387,25 @@ def _worker_main(
         persist=persist,
         persist_mode="ro",
     )
+    catalog = TokenCatalog()
+    transport_stats = WorkerTransportStats()
     while True:
         message = inbox.get()
         if message is None:
             break
         command = message[0]
         if command == "tasks":
-            _, kind, chunk = message
+            _, kind, chunk, mode = message
             reply: List[Tuple] = []
             digest_memo: Dict[int, TBoxDigest] = {}
             for index, payload in chunk:
+                if mode == "ref":
+                    payload, missing = decode_payload(payload, catalog, engine.store, transport_stats)
+                    if missing:
+                        # unresolvable tokens (catalog eviction, cold store):
+                        # ask the parent for the full payload instead
+                        reply.append((index, "miss", tuple(missing)))
+                        continue
                 try:
                     value = _lighten_for_transport(kind, _run_task(engine, kind, payload), digest_memo)
                     reply.append((index, "ok", value))
@@ -385,8 +414,16 @@ def _worker_main(
                         (index, "error", f"{type(error).__name__}: {error}", traceback.format_exc())
                     )
             outbox.put(("results", worker_id, reply))
+        elif command == "seed":
+            # strictly an optimisation: a seed that fails to load or install
+            # (version skew, table mismatch) leaves the worker recompiling
+            # locally, which is bit-identical by determinism — never fatal
+            try:
+                install_context_seed(load_seed(message[1]), transport_stats)
+            except Exception:  # noqa: BLE001 - see above
+                transport_stats.contexts_skipped += 1
         elif command == "stats":
-            outbox.put(("stats", worker_id, engine.stats))
+            outbox.put(("stats", worker_id, engine.stats, transport_stats.snapshot()))
         else:  # pragma: no cover - defensive: unknown control message
             outbox.put(("results", worker_id, [(None, "error", f"unknown command {command!r}", "")]))
 
@@ -450,16 +487,26 @@ class WorkerPool:
         self._inboxes: List[Any] = []
         self._outbox: Optional[Any] = None
         self._closed = False
+        # the cheap-transport bookkeeping (repro.engine.transport): which
+        # tokens each worker has been sent (the reference ledger), which
+        # contexts have been seeded, the live shared-memory segments, and
+        # the parent-side protocol counters
+        self._seen_tokens: List[set] = [set() for _ in range(self.workers)]
+        self._seeded_contexts: set = set()
+        self._segments: List[SeedSegment] = []
+        self.transport_stats = TransportStats()
+        self._worker_transport: Optional[WorkerTransportStats] = None
         _LIVE_POOLS.add(self)
         # a pool dropped without close() (e.g. its engine was discarded) must
-        # not leak its worker processes; the finalizer reaps them at GC time.
-        # close() empties the shared lists, which makes the reap a no-op.
+        # not leak its worker processes or shared-memory segments; the
+        # finalizer reaps both at GC time.  close() empties the shared lists,
+        # which makes the reap a no-op.
         self._finalizer = weakref.finalize(
-            self, WorkerPool._reap, self._processes, self._inboxes
+            self, WorkerPool._reap, self._processes, self._inboxes, self._segments
         )
 
     @staticmethod
-    def _reap(processes: List[Any], inboxes: List[Any]) -> None:
+    def _reap(processes: List[Any], inboxes: List[Any], segments: List[SeedSegment]) -> None:
         """GC-time teardown: runs without the pool lock (the pool is gone)."""
         for inbox in inboxes:
             try:
@@ -470,6 +517,9 @@ class WorkerPool:
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
+        for segment in segments:
+            segment.release()
+        segments.clear()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -535,7 +585,12 @@ class WorkerPool:
         self._release_locked()
 
     def _release_locked(self) -> None:
-        """The shared teardown tail: free the queues, forget the workers."""
+        """The shared teardown tail: free the queues, forget the workers.
+
+        Runs on *every* teardown path — close, interrupt abort, dead-worker
+        teardown — so the shared-memory seed segments are reclaimed exactly
+        here (plus in the GC finalizer, for pools dropped without close).
+        """
         for inbox in self._inboxes:
             inbox.close()
         if self._outbox is not None:
@@ -543,6 +598,9 @@ class WorkerPool:
         self._processes.clear()
         self._inboxes.clear()
         self._outbox = None
+        for segment in self._segments:
+            segment.release()
+        self._segments.clear()
 
     def _abort_locked(self) -> None:
         """Immediate teardown for an interrupted batch; caller holds the lock.
@@ -578,22 +636,67 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # batch execution
     # ------------------------------------------------------------------ #
+    def seed(self, bundles: Sequence[Any], contexts: Optional[set] = None) -> int:
+        """Broadcast a warm-context seed to every worker; returns the number
+        of contexts shipped.
+
+        *bundles* are :class:`~repro.core.CompiledAutomaton` objects from the
+        parent (typically its automata cache); only those with already
+        computed DFAs for a context in *contexts* (``None``: any context) not
+        yet seeded participate — seeding transfers work already done, it
+        never triggers new compilation.  The seed travels through one
+        shared-memory segment when available (``REPRO_NO_SHM=1`` or any
+        creation failure falls back to the queue pickle); the segment is
+        owned by the pool and reclaimed on every teardown path.  The seed
+        message is enqueued ahead of task messages (FIFO inboxes), so no
+        acknowledgement is needed.
+        """
+        with self._lock:
+            self._ensure_started()
+            wanted: Optional[set] = None
+            if contexts is not None:
+                wanted = set(contexts) - self._seeded_contexts
+                if not wanted:
+                    return 0
+            seed = build_context_seed(bundles, wanted)
+            for context in list(seed):
+                if context in self._seeded_contexts:
+                    del seed[context]
+            if not seed:
+                return 0
+            wire, segment = publish_seed(seed, self.transport_stats)
+            if segment is not None:
+                self._segments.append(segment)
+            for inbox in self._inboxes:
+                inbox.put(("seed", wire))
+            self._seeded_contexts.update(seed)
+            return len(seed)
+
     def run_batch(
         self,
         kind: str,
         payloads: Sequence[Tuple],
         routing_keys: Sequence[Tuple[str, str, str]],
+        transport_tokens: Optional[Sequence[Tuple[str, str, str]]] = None,
     ) -> List[Any]:
         """Route *payloads* to workers and gather results in request order.
 
         Each participating worker receives its whole shard as **one** message
-        and replies with one message, so objects shared across the shard
-        (schemas, queries, reused completions) cross the pickle boundary a
-        single time.  One batch at a time: submissions are serialised under
-        the pool lock so interleaved batches cannot steal each other's
-        replies.  A worker-side exception does not abort the rest of that
-        worker's shard; after all replies arrive the first failure (in
-        request order) is raised as :class:`WorkerError`.  An *interrupt*
+        and replies with one message.  With *transport_tokens* (one
+        ``(left, right, schema)`` token triple per payload — the ``contain``
+        path) payloads are encoded through the reference protocol: slots
+        whose token the worker already holds ship as bare tokens, the rest
+        ship once as values.  A worker that cannot resolve a reference
+        replies ``"miss"`` for that item and the parent re-sends exactly
+        those items with every slot as a value — full-payload fallback, one
+        extra round-trip, bit-identical results.  Without tokens (the
+        analysis kinds) payloads ship raw, as before.
+
+        One batch at a time: submissions are serialised under the pool lock
+        so interleaved batches cannot steal each other's replies.  A
+        worker-side exception does not abort the rest of that worker's
+        shard; after all replies arrive the first failure (in request order)
+        is raised as :class:`WorkerError`.  An *interrupt*
         (KeyboardInterrupt/SIGINT, SystemExit) mid-batch shuts the pool down
         promptly — workers are terminated in parallel rather than left to the
         ``atexit`` hook's serial 5-second joins — and the interrupt
@@ -601,34 +704,59 @@ class WorkerPool:
         """
         if len(payloads) != len(routing_keys):
             raise ValueError("run_batch: payloads and routing keys must align")
+        if transport_tokens is not None and len(transport_tokens) != len(payloads):
+            raise ValueError("run_batch: payloads and transport tokens must align")
         if not payloads:
             return []
         with self._lock:
             self._ensure_started()
             assignment = plan_routing(routing_keys, self.workers)
+            mode = "raw" if transport_tokens is None else "ref"
             chunks: Dict[int, List[Tuple[int, Tuple]]] = {}
             for index, (payload, worker) in enumerate(zip(payloads, assignment)):
+                if transport_tokens is not None:
+                    payload = encode_payload(
+                        payload, transport_tokens[index], self._seen_tokens[worker],
+                        self.transport_stats,
+                    )
                 chunks.setdefault(worker, []).append((index, payload))
             results: List[Any] = [None] * len(payloads)
             errors: List[Tuple[int, int, str, str]] = []
+            missed: Dict[int, List[int]] = {}
             try:
                 # the abort window opens before the first put: once any chunk
                 # is in flight, an un-aborted pool would hold replies a later
                 # batch could misattribute to its own indices
                 for worker, chunk in chunks.items():
-                    self._inboxes[worker].put(("tasks", kind, chunk))
-                for _ in range(len(chunks)):
-                    message = self._receive()
-                    if message[0] != "results":  # pragma: no cover - defensive
+                    self._inboxes[worker].put(("tasks", kind, chunk, mode))
+                self._gather(len(chunks), results, errors, missed)
+                if missed:
+                    # full-payload fallback: re-send exactly the missed items
+                    # to their workers, every slot as a value (re-registering
+                    # whatever the catalog evicted), and collect once more
+                    fallback: Dict[int, List[Tuple[int, Tuple]]] = {}
+                    for worker, indices in missed.items():
+                        ledger = self._seen_tokens[worker]
+                        fallback[worker] = [
+                            (
+                                index,
+                                encode_payload(
+                                    payloads[index], transport_tokens[index], ledger,
+                                    self.transport_stats, force_values=True,
+                                ),
+                            )
+                            for index in sorted(indices)
+                        ]
+                        self.transport_stats.fallback_items += len(indices)
+                    for worker, chunk in fallback.items():
+                        self._inboxes[worker].put(("tasks", kind, chunk, "ref"))
+                    still_missed: Dict[int, List[int]] = {}
+                    self._gather(len(fallback), results, errors, still_missed)
+                    if still_missed:  # pragma: no cover - all-value items cannot miss
                         raise WorkerError(
-                            f"unexpected reply while running a batch: {message[0]!r}"
+                            "worker(s) reported unresolvable references on a "
+                            f"full-payload fallback: {sorted(still_missed)}"
                         )
-                    _, worker_id, reply = message
-                    for entry in reply:
-                        if entry[1] == "ok":
-                            results[entry[0]] = entry[2]
-                        else:
-                            errors.append((entry[0], worker_id, entry[2], entry[3]))
             except (KeyboardInterrupt, SystemExit):
                 # the workers are mid-chase and their replies are now
                 # unclaimable; leaving them alive would burn CPU until the
@@ -644,6 +772,34 @@ class WorkerPool:
                     remote_traceback,
                 )
             return results
+
+    def _gather(
+        self,
+        replies: int,
+        results: List[Any],
+        errors: List[Tuple[int, int, str, str]],
+        missed: Dict[int, List[int]],
+    ) -> None:
+        """Collect *replies* worker messages into the three outcome buckets.
+
+        A ``"miss"`` entry also retires the unresolvable tokens from that
+        worker's ledger, so the fallback (and any later batch) ships them as
+        values again instead of as references that would miss forever.
+        """
+        for _ in range(replies):
+            message = self._receive()
+            if message[0] != "results":  # pragma: no cover - defensive
+                raise WorkerError(f"unexpected reply while running a batch: {message[0]!r}")
+            _, worker_id, reply = message
+            for entry in reply:
+                if entry[1] == "ok":
+                    results[entry[0]] = entry[2]
+                elif entry[1] == "miss":
+                    for token in entry[2]:
+                        self._seen_tokens[worker_id].discard(token)
+                    missed.setdefault(worker_id, []).append(entry[0])
+                else:
+                    errors.append((entry[0], worker_id, entry[2], entry[3]))
 
     def _receive(self) -> Tuple:
         """One reply from the outbox, watching for dead workers.
@@ -682,38 +838,76 @@ class WorkerPool:
 
         The routing key is ``(schema fp, right token, full request digest)``:
         schema-major sharding, completion-affine sub-sharding (the completion
-        cache is keyed by the right query) — see :func:`plan_routing`.
+        cache is keyed by the right query) — see :func:`plan_routing`.  The
+        same canonical tokens double as the reference-protocol tokens, so
+        repeated schemas and queries cross the process boundary as compact
+        references rather than pickled objects (see :meth:`run_batch`).
         """
         keys = []
         tasks = []
+        tokens = []
         for left, right, schema, config in requests:
             left, right = _as_union(left, "P"), _as_union(right, "Q")
             schema_fp = schema.canonical_fingerprint()
-            right_token = right.canonical_token()
+            right_canonical = right.canonical_token()
+            left_canonical = left.canonical_token()
             request_digest = "\x1f".join(
-                (schema_fp, right_token, left.canonical_token(), repr(config))
+                (schema_fp, right_canonical, left_canonical, repr(config))
             )
-            keys.append((schema_fp, right_token, request_digest))
+            keys.append((schema_fp, right_canonical, request_digest))
+            tokens.append(
+                (
+                    query_token(left.name, left_canonical),
+                    query_token(right.name, right_canonical),
+                    schema_token(schema.name, schema_fp),
+                )
+            )
             tasks.append((left, right, schema, config))
-        return self.run_batch("contain", tasks, keys)
+        return self.run_batch("contain", tasks, keys, transport_tokens=tokens)
 
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
     def worker_stats(self) -> List[EngineStats]:
-        """Per-worker engine statistics (in worker order)."""
+        """Per-worker engine statistics (in worker order).
+
+        The same exchange refreshes the worker-side transport counters
+        (:meth:`worker_transport`).
+        """
         with self._lock:
             self._ensure_started()
             for inbox in self._inboxes:
                 inbox.put(("stats",))
             snapshots: List[Optional[EngineStats]] = [None] * self.workers
+            transport = WorkerTransportStats()
             for _ in range(self.workers):
                 message = self._receive()
                 if message[0] != "stats":  # pragma: no cover - defensive
                     raise WorkerError(f"unexpected reply while collecting stats: {message[0]!r}")
-                _, worker_id, stats = message
+                _, worker_id, stats, worker_transport = message
                 snapshots[worker_id] = stats
+                transport.merge(worker_transport)
+            self._worker_transport = transport
             return [snapshot for snapshot in snapshots if snapshot is not None]
+
+    def worker_transport(self) -> WorkerTransportStats:
+        """Pool-wide worker-side transport counters (fresh collection)."""
+        self.worker_stats()
+        assert self._worker_transport is not None
+        return self._worker_transport
+
+    def transport_report(self) -> Dict[str, Any]:
+        """Parent- and worker-side transport counters, JSON-ready.
+
+        The worker block is the most recent :meth:`worker_stats` collection
+        (``None`` before the first one) — reading it must not block on a
+        round-trip to possibly-busy workers.
+        """
+        report: Dict[str, Any] = {"parent": self.transport_stats.as_dict()}
+        report["workers"] = (
+            self._worker_transport.as_dict() if self._worker_transport is not None else None
+        )
+        return report
 
     def stats(self) -> EngineStats:
         """Pool-wide aggregate of every worker's cache counters."""

@@ -1,0 +1,469 @@
+"""Cheap transport for the process backend: references, catalogs, seeds.
+
+The original worker protocol pickled every request whole — schema, both
+queries, config — into each worker's inbox, even though a long-lived pool
+decides thousands of requests over the *same* few schemas and queries.  On
+the workloads that matter the pickled schema dominates the message, which is
+how the headline parallel path ended up losing to serial (ROADMAP item 1).
+This module supplies the three mechanisms that make the boundary cheap
+(docs/ARCHITECTURE.md, "The transport layer"):
+
+* **Canonical-fingerprint references.**  Every schema and query crossing the
+  boundary is named by a token derived from its canonical fingerprint
+  (:func:`schema_token` / :func:`query_token`).  The parent tracks which
+  tokens each worker has already received (:class:`TransportStats` counts
+  the traffic); a known token ships as a 2-tuple reference, an unknown one
+  ships as a ``("v", token, object)`` slot that the worker registers in its
+  bounded :class:`TokenCatalog` before resolving later references of the
+  same message.  A reference the worker cannot resolve — catalog eviction,
+  a restarted worker, a store miss — is answered with a ``"miss"`` reply
+  and the parent **falls back to full-payload transport** for exactly those
+  items; the protocol degrades to the old one, it never fails.
+
+* **Store-backed schema resolution.**  Workers of a persisting engine open
+  the shared :class:`~repro.store.ResultStore` read-only; the parent
+  persists every schema of a process batch into the store's ``"schemas"``
+  tier (keyed by canonical fingerprint), so a schema reference can be
+  resolved from disk even by a worker that never saw the object — the
+  warm-start that already covered results and schema TBoxes now covers the
+  request payloads themselves.
+
+* **Pre-seeded interning and automata contexts.**  A warm parent engine has
+  already paid for symbol interning and DFA construction; a freshly spawned
+  worker should not pay again.  :func:`build_context_seed` snapshots, per
+  schema context, the :class:`~repro.core.interning.SymbolTable` (symbols in
+  arrival order — ids are positional) and the computed DFA transition
+  arrays of every compiled automaton; :func:`publish_seed` ships the pickled
+  seed through one :mod:`multiprocessing.shared_memory` segment (one copy
+  for the whole pool, attached read-only by each worker) with a
+  pickle-through-queue fallback when shared memory is unavailable or
+  disabled via ``REPRO_NO_SHM=1``; :func:`install_context_seed` re-interns
+  the symbols and installs the DFAs onto the worker's compile-memo bundles.
+  Installation is guarded: if the worker's table prefix does not match the
+  seed (it interned symbols in a different order first), the context is
+  skipped and the worker recompiles locally — ``determinize``/``minimize``
+  are deterministic, so verdicts are bit-identical either way.
+
+Every mechanism preserves the engine's core invariant: verdicts and
+``result_fingerprint`` digests are bit-identical across serial, thread and
+process backends, with shared memory on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.compile import CompiledAutomaton, compile_regex
+from ..core.dfa import DFA
+from ..core.interning import symbol_table
+
+__all__ = [
+    "SHM_DISABLE_VARIABLE",
+    "SeedSegment",
+    "TokenCatalog",
+    "TransportStats",
+    "WorkerTransportStats",
+    "build_context_seed",
+    "decode_payload",
+    "encode_payload",
+    "install_context_seed",
+    "load_seed",
+    "publish_seed",
+    "query_token",
+    "schema_token",
+    "shared_memory_disabled",
+]
+
+#: Setting this environment variable to anything but ``0``/empty forces the
+#: pickle-through-queue fallback for context seeds (the CI differential smoke
+#: runs the zoo corpus both ways and asserts fingerprint identity).
+SHM_DISABLE_VARIABLE = "REPRO_NO_SHM"
+
+#: Prefix of every shared-memory segment this module creates; the leak tests
+#: scan ``/dev/shm`` for it after crash/interrupt teardowns.
+SEED_SEGMENT_PREFIX = "repro_seed"
+
+_segment_counter = itertools.count()
+
+
+# --------------------------------------------------------------------------- #
+# statistics
+# --------------------------------------------------------------------------- #
+@dataclass
+class TransportStats:
+    """Parent-side counters of the reference protocol (one per pool)."""
+
+    items: int = 0  # payloads encoded for the wire
+    references_sent: int = 0  # slots shipped as bare tokens
+    values_sent: int = 0  # slots shipped with their full object
+    fallback_items: int = 0  # items re-sent with full payloads after a miss
+    seeds_published: int = 0
+    shm_segments: int = 0  # seeds that went through shared memory
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def snapshot(self) -> "TransportStats":
+        return TransportStats(**self.as_dict())
+
+
+@dataclass
+class WorkerTransportStats:
+    """Worker-side counters, shipped back with the engine stats."""
+
+    catalog_hits: int = 0  # references resolved from the token catalog
+    store_hits: int = 0  # schema references resolved from the read-only store
+    misses: int = 0  # references answered with a "miss" reply
+    values_registered: int = 0
+    automata_seeded: int = 0  # DFAs installed from context seeds
+    contexts_skipped: int = 0  # seed contexts rejected by the prefix guard
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def snapshot(self) -> "WorkerTransportStats":
+        return WorkerTransportStats(**self.as_dict())
+
+    def merge(self, other: "WorkerTransportStats") -> None:
+        for field in fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+
+# --------------------------------------------------------------------------- #
+# tokens and the reference protocol
+# --------------------------------------------------------------------------- #
+def schema_token(name: str, fingerprint: str) -> str:
+    """The wire token of a schema: its name *and* canonical fingerprint.
+
+    Fingerprints are deliberately name-insensitive (renamed-but-equal schemas
+    share every cache entry), but a worker-computed result carries
+    ``schema_name`` — resolving a reference to a same-fingerprint schema with
+    a different name would silently change result fingerprints, so the name
+    is part of the token.
+    """
+    return f"s:{name}\x1f{fingerprint}"
+
+
+def query_token(name: str, canonical: str) -> str:
+    """The wire token of a (normalised) query.
+
+    The canonical token ignores names and disjunct order by design, but names
+    surface in result fields (``left_name``/``right_name``), so two queries
+    that differ only by name must resolve to *different* catalog entries.
+    """
+    return f"q:{name}\x1f{canonical}"
+
+
+class TokenCatalog:
+    """The worker-side bounded token → object map (LRU).
+
+    Eviction is always safe: a reference to an evicted token comes back as a
+    ``"miss"`` and the parent re-sends the full payload, which re-registers
+    it.  The bound exists so a worker serving an adversarial stream of
+    distinct schemas cannot grow without limit.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        if maxsize < 1:
+            raise ValueError("TokenCatalog maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def register(self, token: str, value: Any) -> None:
+        if token in self._entries:
+            self._entries.move_to_end(token)
+        self._entries[token] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def resolve(self, token: str) -> Optional[Any]:
+        value = self._entries.get(token)
+        if value is not None:
+            self._entries.move_to_end(token)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._entries
+
+
+def encode_payload(
+    payload: Tuple[Any, Any, Any, Any],
+    tokens: Tuple[str, str, str],
+    seen: Set[str],
+    stats: TransportStats,
+    *,
+    force_values: bool = False,
+) -> Tuple:
+    """One ``(left, right, schema, config)`` payload in wire form.
+
+    *tokens* is ``(left token, right token, schema token)``.  Slots whose
+    token the worker has already received (per *seen*, the parent's
+    per-worker ledger) ship as references; the rest ship as values and are
+    added to the ledger.  ``force_values`` is the miss-fallback path: every
+    slot ships its object regardless (re-registering evicted entries).
+    Within one chunk the ordering does the sharing: the first item carrying
+    a new schema ships it, later items reference it — the worker decodes in
+    order, registering values before resolving references.
+    """
+    left, right, schema, config = payload
+    slots: List[Tuple] = []
+    stats.items += 1
+    for value, token in ((left, tokens[0]), (right, tokens[1]), (schema, tokens[2])):
+        if not force_values and token in seen:
+            slots.append(("r", token))
+            stats.references_sent += 1
+        else:
+            seen.add(token)
+            slots.append(("v", token, value))
+            stats.values_sent += 1
+    return (slots[0], slots[1], slots[2], config)
+
+
+def decode_payload(
+    encoded: Tuple,
+    catalog: TokenCatalog,
+    store: Optional[Any],
+    stats: WorkerTransportStats,
+) -> Tuple[Optional[Tuple], List[str]]:
+    """The worker-side inverse: ``(payload, [])`` or ``(None, missing tokens)``.
+
+    Value slots are registered into *catalog* before any later reference of
+    the same message is resolved (the caller decodes items in chunk order).
+    Schema references additionally fall back to the read-only *store*'s
+    ``"schemas"`` tier.  Unresolvable tokens are reported, not raised — the
+    parent answers a miss with the full payload.
+    """
+    resolved: List[Any] = []
+    missing: List[str] = []
+    for slot in encoded[:3]:
+        if slot[0] == "v":
+            _, token, value = slot
+            catalog.register(token, value)
+            stats.values_registered += 1
+            resolved.append(value)
+            continue
+        token = slot[1]
+        value = catalog.resolve(token)
+        if value is not None:
+            stats.catalog_hits += 1
+            resolved.append(value)
+            continue
+        if store is not None and token.startswith("s:"):
+            name, _, fingerprint = token[2:].partition("\x1f")
+            value = store.get("schemas", fingerprint)
+            # the stored schema must carry the token's name: fingerprints are
+            # name-insensitive, result fingerprints are not (schema_name)
+            if value is not None and getattr(value, "name", None) == name:
+                catalog.register(token, value)
+                stats.store_hits += 1
+                resolved.append(value)
+                continue
+        stats.misses += 1
+        missing.append(token)
+    if missing:
+        return None, missing
+    return (resolved[0], resolved[1], resolved[2], encoded[3]), []
+
+
+# --------------------------------------------------------------------------- #
+# context seeds: symbol tables + DFA transition arrays
+# --------------------------------------------------------------------------- #
+def _dfa_spec(dfa: Optional[DFA]) -> Optional[Tuple]:
+    """A table-independent description of *dfa* (``None`` stays ``None``).
+
+    Symbol ids inside the transitions are positions in the seed's symbol
+    snapshot — valid in any table whose arrival-order prefix matches it.
+    """
+    if dfa is None:
+        return None
+    return (
+        dfa.num_states,
+        dfa.initial,
+        tuple(sorted(dfa.final)),
+        tuple(sorted(dfa.transitions())),
+    )
+
+
+def build_context_seed(
+    bundles: Iterable[CompiledAutomaton],
+    contexts: Optional[Set[str]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Snapshot the warm automata state of *bundles*, grouped by context.
+
+    Only bundles with a named context (a schema fingerprint) and at least
+    one *computed* DFA participate — seeding is strictly a transfer of work
+    already done, never a trigger for new work.  The symbol snapshot is
+    taken after the spec extraction, so every id referenced by a shipped
+    transition array is covered by the snapshot.
+    """
+    per_context: Dict[str, Dict[str, Any]] = {}
+    for bundle in bundles:
+        context = bundle.context
+        if context is None or (contexts is not None and context not in contexts):
+            continue
+        dfa_spec = _dfa_spec(bundle._dfa)
+        min_spec = _dfa_spec(bundle._min_dfa)
+        if dfa_spec is None and min_spec is None:
+            continue
+        entry = per_context.setdefault(context, {"automata": []})
+        entry["automata"].append((bundle.regex, dfa_spec, min_spec))
+    for context, entry in per_context.items():
+        entry["symbols"] = symbol_table(context).snapshot()
+        entry["automata"] = tuple(entry["automata"])
+    return per_context
+
+
+def install_context_seed(
+    seed: Dict[str, Dict[str, Any]], stats: Optional[WorkerTransportStats] = None
+) -> int:
+    """Install *seed* into this process's tables and compile memo.
+
+    Returns the number of DFAs installed.  Per context, the local symbol
+    table must start with exactly the seed's symbols (interning the tail if
+    the local table is shorter) — a positional-id mismatch means the shipped
+    transition arrays would be read against the wrong alphabet, so the whole
+    context is skipped and its automata recompile locally (bit-identical by
+    determinism of the subset construction).  Already-computed local DFAs
+    are never overwritten.
+    """
+    stats = stats if stats is not None else WorkerTransportStats()
+    installed = 0
+    for context, entry in seed.items():
+        table = symbol_table(context)
+        symbols = entry["symbols"]
+        compatible = True
+        for position, symbol in enumerate(symbols):
+            if position < len(table):
+                if table.symbol(position) != symbol:
+                    compatible = False
+                    break
+            elif table.intern(symbol) != position:  # pragma: no cover - racing intern
+                compatible = False
+                break
+        if not compatible:
+            stats.contexts_skipped += 1
+            continue
+        for regex, dfa_spec, min_spec in entry["automata"]:
+            bundle = compile_regex(regex, context)
+            if dfa_spec is not None and bundle._dfa is None:
+                bundle._dfa = DFA(table, dfa_spec[0], dfa_spec[1], dfa_spec[2], dfa_spec[3])
+                installed += 1
+            if min_spec is not None and bundle._min_dfa is None:
+                bundle._min_dfa = DFA(table, min_spec[0], min_spec[1], min_spec[2], min_spec[3])
+                installed += 1
+    stats.automata_seeded += installed
+    return installed
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory publication (with the pickle fallback)
+# --------------------------------------------------------------------------- #
+def shared_memory_disabled() -> bool:
+    """``True`` when ``REPRO_NO_SHM`` forces the pickle fallback."""
+    return os.environ.get(SHM_DISABLE_VARIABLE, "").strip() not in ("", "0")
+
+
+class SeedSegment:
+    """One owned shared-memory segment; the parent unlinks it exactly once.
+
+    Workers attach by name, copy, and detach immediately; the parent keeps
+    the segment alive for the pool's lifetime (a late-starting worker may
+    attach long after publication) and reclaims it on every teardown path —
+    close, interrupt abort, worker-death teardown, GC finalizer, atexit.
+    """
+
+    def __init__(self, shm: Any) -> None:
+        self._shm = shm
+        self.name: str = shm.name
+        self._lock = threading.Lock()
+        self._released = False
+
+    def release(self) -> None:
+        """Close and unlink (idempotent; never raises)."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        for action in (self._shm.close, self._shm.unlink):
+            try:
+                action()
+            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+                pass
+
+
+def publish_seed(seed: Dict[str, Any], stats: TransportStats) -> Tuple[Tuple, Optional[SeedSegment]]:
+    """Pickle *seed* and choose its transport.
+
+    Returns ``(("shm", name, size), segment)`` when a shared-memory segment
+    was created (the caller owns the segment and must eventually
+    :meth:`~SeedSegment.release` it), or ``(("pickle", blob), None)`` on the
+    fallback — shared memory unavailable, creation failed, or disabled via
+    ``REPRO_NO_SHM``.
+    """
+    blob = pickle.dumps(seed, protocol=pickle.HIGHEST_PROTOCOL)
+    stats.seeds_published += 1
+    if not shared_memory_disabled():
+        try:
+            from multiprocessing import shared_memory
+
+            name = f"{SEED_SEGMENT_PREFIX}_{os.getpid()}_{next(_segment_counter)}"
+            shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)), name=name)
+            shm.buf[: len(blob)] = blob
+            stats.shm_segments += 1
+            return ("shm", shm.name, len(blob)), SeedSegment(shm)
+        except Exception:  # noqa: BLE001 - any failure falls back to the queue
+            pass
+    return ("pickle", blob), None
+
+
+def load_seed(wire: Tuple) -> Dict[str, Any]:
+    """The worker-side inverse of :func:`publish_seed`."""
+    if wire[0] == "pickle":
+        return pickle.loads(wire[1])
+    _, name, size = wire
+    from multiprocessing import shared_memory
+
+    try:
+        # 3.13+: attach untracked — the parent owns the segment's lifetime
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack_segment(name)
+    try:
+        blob = bytes(shm.buf[:size])
+    finally:
+        shm.close()
+    return pickle.loads(blob)
+
+
+def _untrack_segment(name: str) -> None:  # pragma: no cover - Python < 3.13 path
+    """Undo the resource tracker's attach-side registration.
+
+    Before 3.13 every attach registers the segment with the process's
+    resource tracker, which would try to unlink it again at worker exit —
+    after the parent (the owner) already has — and spam warnings.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # noqa: BLE001 - tracking cosmetics must never break a worker
+        pass
+
+
+def live_seed_segments(directory: str = "/dev/shm") -> List[str]:
+    """Names of this machine's live seed segments (the leak-test probe)."""
+    try:
+        names = os.listdir(directory)
+    except OSError:  # pragma: no cover - non-Linux or exotic container
+        return []
+    return sorted(name for name in names if name.startswith(SEED_SEGMENT_PREFIX))

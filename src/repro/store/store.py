@@ -9,7 +9,12 @@ in-memory engine caches use.  Two tiers are persisted:
   them for transport (the completed TBox travels as a
   :class:`~repro.engine.parallel.TBoxDigest`), so a verdict replayed from
   disk fingerprints bit-identically to one replayed from memory;
-* ``schema-tboxes`` — the Horn encodings ``T̂_S`` per extended schema.
+* ``schema-tboxes`` — the Horn encodings ``T̂_S`` per extended schema;
+* ``schemas`` — the extended schemas themselves, keyed by canonical
+  fingerprint.  Written by the parent before a process batch so workers can
+  resolve the transport layer's schema *references*
+  (:mod:`repro.engine.transport`) from disk even when the object never
+  crossed their queue.
 
 Completions (chase engines with live memos) and compiled automata are *not*
 persisted: a result-tier hit skips both entirely, and an automaton's pickle
@@ -53,7 +58,7 @@ __all__ = ["STORE_FORMAT_VERSION", "ResultStore", "StoreStats"]
 STORE_FORMAT_VERSION = 1
 
 #: The tiers :meth:`ResultStore.put` accepts (anything else is a bug).
-TIERS = ("results", "schema-tboxes")
+TIERS = ("results", "schema-tboxes", "schemas")
 
 
 def _library_version() -> str:

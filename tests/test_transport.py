@@ -1,0 +1,404 @@
+"""The cheap worker transport: tokens, catalogs, context seeds, shared memory.
+
+Unit tests exercise the wire pieces of ``repro.engine.transport`` directly;
+the pool-level tests then force the interesting degradations — catalog
+misses falling back to full payloads, schema references resolved from the
+read-only store, ``REPRO_NO_SHM=1`` pushing seeds through the queue — and
+assert the invariant that makes all of it safe: verdicts stay bit-identical
+to serial, and no shared-memory segment outlives its pool on any teardown
+path.
+"""
+
+import pytest
+
+from repro.containment.solver import _as_union
+from repro.core import compile_regex
+from repro.core.interning import symbol_table
+from repro.engine import ContainmentEngine, TransportStats, WorkerTransportStats, result_fingerprint
+from repro.engine.transport import (
+    SHM_DISABLE_VARIABLE,
+    TokenCatalog,
+    build_context_seed,
+    decode_payload,
+    encode_payload,
+    install_context_seed,
+    live_seed_segments,
+    load_seed,
+    publish_seed,
+    query_token,
+    schema_token,
+    shared_memory_disabled,
+)
+from repro.rpq import parse_regex
+from repro.workloads.batches import containment_batch
+
+
+def fingerprints(results):
+    return [result_fingerprint(result) for result in results]
+
+
+def contain_tokens(left, right, schema):
+    """The (left, right, schema) wire tokens exactly as check_many builds them."""
+    left, right = _as_union(left, "P"), _as_union(right, "Q")
+    return (
+        query_token(left.name, left.canonical_token()),
+        query_token(right.name, right.canonical_token()),
+        schema_token(schema.name, schema.canonical_fingerprint()),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the token catalog
+# --------------------------------------------------------------------------- #
+def test_catalog_registers_resolves_and_evicts_lru():
+    catalog = TokenCatalog(maxsize=2)
+    catalog.register("a", 1)
+    catalog.register("b", 2)
+    assert catalog.resolve("a") == 1  # touches "a": "b" is now the LRU entry
+    catalog.register("c", 3)
+    assert "b" not in catalog and len(catalog) == 2
+    assert catalog.resolve("b") is None
+    assert catalog.resolve("a") == 1 and catalog.resolve("c") == 3
+
+
+def test_catalog_rejects_a_nonpositive_bound():
+    with pytest.raises(ValueError):
+        TokenCatalog(maxsize=0)
+
+
+# --------------------------------------------------------------------------- #
+# encode / decode
+# --------------------------------------------------------------------------- #
+def test_first_send_ships_values_repeats_ship_references():
+    schema, pairs = containment_batch("medical")
+    payload = (*pairs[0], schema, None)
+    tokens = contain_tokens(pairs[0][0], pairs[0][1], schema)
+    seen, stats = set(), TransportStats()
+
+    first = encode_payload(payload, tokens, seen, stats)
+    assert [slot[0] for slot in first[:3]] == ["v", "v", "v"]
+    second = encode_payload(payload, tokens, seen, stats)
+    assert [slot[0] for slot in second[:3]] == ["r", "r", "r"]
+    assert (stats.values_sent, stats.references_sent, stats.items) == (3, 3, 2)
+
+    catalog, worker_stats = TokenCatalog(), WorkerTransportStats()
+    decoded_first, missing = decode_payload(first, catalog, None, worker_stats)
+    assert missing == [] and decoded_first[2] is schema
+    decoded_second, missing = decode_payload(second, catalog, None, worker_stats)
+    assert missing == [] and decoded_second[:3] == decoded_first[:3]
+    assert worker_stats.values_registered == 3 and worker_stats.catalog_hits == 3
+
+
+def test_force_values_resends_everything_and_reregisters():
+    schema, pairs = containment_batch("medical")
+    payload = (*pairs[0], schema, None)
+    tokens = contain_tokens(pairs[0][0], pairs[0][1], schema)
+    seen, stats = set(tokens), TransportStats()  # ledger says "already sent"
+    encoded = encode_payload(payload, tokens, seen, stats, force_values=True)
+    assert [slot[0] for slot in encoded[:3]] == ["v", "v", "v"]
+
+
+def test_unresolvable_references_report_their_tokens():
+    schema, pairs = containment_batch("medical")
+    tokens = contain_tokens(pairs[0][0], pairs[0][1], schema)
+    encoded = (("r", tokens[0]), ("r", tokens[1]), ("r", tokens[2]), None)
+    worker_stats = WorkerTransportStats()
+    payload, missing = decode_payload(encoded, TokenCatalog(), None, worker_stats)
+    assert payload is None
+    assert sorted(missing) == sorted(tokens)
+    assert worker_stats.misses == 3
+
+
+class SchemaShelf:
+    """A minimal stand-in for the store's ``get("schemas", fingerprint)``."""
+
+    def __init__(self, **by_fingerprint):
+        self.by_fingerprint = by_fingerprint
+
+    def get(self, tier, key):
+        assert tier == "schemas"
+        return self.by_fingerprint.get(key)
+
+
+def test_schema_references_resolve_from_the_store_only_on_name_match():
+    schema, _ = containment_batch("medical")
+    fingerprint = schema.canonical_fingerprint()
+    token = schema_token(schema.name, fingerprint)
+    encoded = (("v", "q:left", 1), ("v", "q:right", 2), ("r", token), None)
+
+    hit_stats = WorkerTransportStats()
+    payload, missing = decode_payload(
+        encoded, TokenCatalog(), SchemaShelf(**{fingerprint: schema}), hit_stats
+    )
+    assert missing == [] and payload[2] is schema
+    assert hit_stats.store_hits == 1
+
+    # same fingerprint under a different name must NOT resolve: the worker's
+    # results would carry the wrong schema_name and change fingerprints
+    renamed_token = schema_token("renamed", fingerprint)
+    encoded = (("v", "q:left", 1), ("v", "q:right", 2), ("r", renamed_token), None)
+    miss_stats = WorkerTransportStats()
+    payload, missing = decode_payload(
+        encoded, TokenCatalog(), SchemaShelf(**{fingerprint: schema}), miss_stats
+    )
+    assert payload is None and missing == [renamed_token]
+    assert miss_stats.store_hits == 0 and miss_stats.misses == 1
+
+
+# --------------------------------------------------------------------------- #
+# context seeds
+# --------------------------------------------------------------------------- #
+def warm_bundle(spec, context):
+    bundle = compile_regex(parse_regex(spec), context)
+    bundle.dfa()
+    bundle.minimal_dfa()
+    return bundle
+
+
+def test_seed_ships_only_computed_dfas():
+    cold = compile_regex(parse_regex("a . b"), "test-seed-cold")
+    assert build_context_seed([cold]) == {}  # nothing computed, nothing shipped
+    assert build_context_seed([warm_bundle("a . b*", None)]) == {}  # no context
+
+    warm = warm_bundle("a . (b + c)*", "test-seed-warm")
+    seed = build_context_seed([warm, cold])
+    assert set(seed) == {"test-seed-warm"}
+    assert seed["test-seed-warm"]["symbols"] == symbol_table("test-seed-warm").snapshot()
+    ((regex, dfa_spec, min_spec),) = seed["test-seed-warm"]["automata"]
+    assert regex == warm.regex and dfa_spec is not None and min_spec is not None
+    assert build_context_seed([warm], contexts={"other"}) == {}
+
+
+def test_install_reconstructs_the_same_dfas_in_a_fresh_context():
+    from repro.engine.transport import _dfa_spec
+
+    warm = warm_bundle("a . (b + c)* . d", "test-install-source")
+    seed = build_context_seed([warm])
+    # re-key the seed onto a context this process has never touched — the
+    # same situation a freshly spawned worker is in
+    transplanted = {"test-install-target": seed["test-install-source"]}
+    stats = WorkerTransportStats()
+    assert install_context_seed(transplanted, stats) == 2
+    assert stats.automata_seeded == 2 and stats.contexts_skipped == 0
+    # the installed DFAs are structurally identical to what a cold local
+    # compile would have produced (determinize/minimize are deterministic
+    # and symbols intern in the same arrival order)
+    installed = compile_regex(warm.regex, "test-install-target")
+    recompiled = warm_bundle("a . (b + c)* . d", "test-install-control")
+    assert _dfa_spec(installed._dfa) == _dfa_spec(recompiled._dfa)
+    assert _dfa_spec(installed._min_dfa) == _dfa_spec(recompiled._min_dfa)
+    # a second install is a no-op: computed DFAs are never overwritten
+    assert install_context_seed(transplanted, stats) == 0
+
+
+def test_install_skips_contexts_whose_symbol_prefix_mismatches():
+    warm = warm_bundle("a . b", "test-skew-source")
+    seed = build_context_seed([warm])
+    symbols = seed["test-skew-source"]["symbols"]
+    assert len(symbols) >= 2
+    # the target table interned the seed's symbols in a different arrival
+    # order, so the shipped positional transition ids would be misread
+    symbol_table("test-skew-target").intern(symbols[-1])
+    transplanted = {"test-skew-target": seed["test-skew-source"]}
+    stats = WorkerTransportStats()
+    assert install_context_seed(transplanted, stats) == 0
+    assert stats.contexts_skipped == 1 and stats.automata_seeded == 0
+    # the skipped worker recompiles locally and stays language-identical
+    local = warm_bundle("a . b", "test-skew-target")
+    control = warm_bundle("a . b", "test-skew-control")
+    assert local.minimal_dfa().num_states == control.minimal_dfa().num_states
+    assert local._min_dfa is not None
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory publication
+# --------------------------------------------------------------------------- #
+def test_shm_disable_variable_parsing(monkeypatch):
+    for value, disabled in (("", False), ("0", False), ("1", True), ("yes", True)):
+        monkeypatch.setenv(SHM_DISABLE_VARIABLE, value)
+        assert shared_memory_disabled() is disabled
+    monkeypatch.delenv(SHM_DISABLE_VARIABLE)
+    assert shared_memory_disabled() is False
+
+
+def test_publish_and_load_roundtrip_through_shared_memory():
+    seed = build_context_seed([warm_bundle("a . b*", "test-shm-roundtrip")])
+    stats = TransportStats()
+    wire, segment = publish_seed(seed, stats)
+    if segment is None:  # pragma: no cover - no /dev/shm in this container
+        pytest.skip("shared memory unavailable")
+    try:
+        assert wire[0] == "shm" and stats.shm_segments == 1
+        assert segment.name in live_seed_segments()
+        assert load_seed(wire) == seed
+        assert load_seed(wire) == seed  # attaching is repeatable
+    finally:
+        segment.release()
+        segment.release()  # idempotent
+    assert segment.name not in live_seed_segments()
+
+
+def test_publish_falls_back_to_pickle_when_disabled(monkeypatch):
+    monkeypatch.setenv(SHM_DISABLE_VARIABLE, "1")
+    seed = build_context_seed([warm_bundle("a+", "test-pickle-fallback")])
+    stats = TransportStats()
+    wire, segment = publish_seed(seed, stats)
+    assert wire[0] == "pickle" and segment is None
+    assert stats.seeds_published == 1 and stats.shm_segments == 0
+    assert load_seed(wire) == seed
+
+
+# --------------------------------------------------------------------------- #
+# the pool under degraded transport
+# --------------------------------------------------------------------------- #
+def poison_ledgers(pool, schema, pairs, queries=True):
+    """Mark tokens as already-sent so the pool ships unresolvable references."""
+    for left, right in pairs:
+        left_token, right_token, token = contain_tokens(left, right, schema)
+        for ledger in pool._seen_tokens:
+            ledger.add(token)
+            if queries:
+                ledger.update((left_token, right_token))
+
+
+def test_catalog_misses_fall_back_to_full_payloads():
+    schema, pairs = containment_batch("medical")
+    serial = ContainmentEngine().check_many(pairs[:3], schema=schema)
+    engine = ContainmentEngine(max_workers=1)
+    try:
+        pool = engine.process_pool()
+        pool.start()
+        poison_ledgers(pool, schema, pairs[:3])
+        results = engine.check_many(pairs[:3], schema=schema, parallel="process")
+        assert fingerprints(results) == fingerprints(serial)
+        assert pool.transport_stats.fallback_items >= 1
+        assert pool.worker_transport().misses >= 1
+        # the fallback re-registered everything: a replay is pure references
+        references_before = pool.transport_stats.references_sent
+        replay = engine.check_many(pairs[:3], schema=schema, parallel="process")
+        assert fingerprints(replay) == fingerprints(serial)
+        assert pool.transport_stats.references_sent > references_before
+        assert pool.transport_stats.fallback_items == 3  # no new fallbacks
+    finally:
+        engine.shutdown()
+
+
+def test_schema_references_resolve_from_the_shared_store(tmp_path):
+    """A worker that never received the schema object finds it in the store's
+    ``"schemas"`` tier — no miss round-trip, bit-identical verdicts."""
+    store_path = tmp_path / "store.db"
+    schema, pairs = containment_batch("social")
+    serial = ContainmentEngine().check_many(pairs[:2], schema=schema)
+
+    writer = ContainmentEngine(persist=store_path)
+    try:  # one process batch persists the schema under its fingerprint
+        writer.check_many(pairs[:2], schema=schema, parallel="process")
+    finally:
+        writer.shutdown()
+        writer.close()
+
+    engine = ContainmentEngine(max_workers=1, persist=store_path)
+    try:
+        pool = engine.process_pool()
+        pool.start()
+        # schema token "already sent", query tokens still ship as values
+        poison_ledgers(pool, schema, pairs[:2], queries=False)
+        results = engine.check_many(pairs[:2], schema=schema, parallel="process")
+        assert fingerprints(results) == fingerprints(serial)
+        assert pool.worker_transport().store_hits >= 1
+        assert pool.transport_stats.fallback_items == 0
+    finally:
+        engine.shutdown()
+        engine.close()
+
+
+def seeded_engine_and_pool(schema, pairs):
+    """An engine whose automata cache holds computed DFAs for *schema* — the
+    state a warm parent is in when it seeds a fresh pool."""
+    engine = ContainmentEngine(max_workers=1)
+    engine.check_many(pairs, schema=schema)  # warm the automata cache
+    with engine._lock:
+        bundles = [bundle for _key, bundle in engine._automata.items()]
+    assert bundles, "the serial run must have compiled automata"
+    for bundle in bundles:
+        bundle.dfa()
+        bundle.minimal_dfa()
+    return engine
+
+
+@pytest.mark.parametrize("no_shm", [False, True], ids=["shm", "pickle-fallback"])
+def test_seeded_process_runs_are_bit_identical(monkeypatch, no_shm):
+    if no_shm:
+        monkeypatch.setenv(SHM_DISABLE_VARIABLE, "1")
+    schema, pairs = containment_batch("medical")
+    serial = ContainmentEngine().check_many(pairs, schema=schema)
+    engine = seeded_engine_and_pool(schema, pairs)
+    try:
+        results = engine.check_many(pairs, schema=schema, parallel="process")
+        assert fingerprints(results) == fingerprints(serial)
+        pool = engine.process_pool()
+        assert pool.transport_stats.seeds_published == 1
+        assert pool.transport_stats.shm_segments == (0 if no_shm else 1)
+        assert pool.worker_transport().automata_seeded >= 1
+        # a second batch over the same schema does not re-seed
+        engine.check_many(pairs[:2], schema=schema, parallel="process")
+        assert pool.transport_stats.seeds_published == 1
+    finally:
+        engine.shutdown()
+
+
+def test_interrupted_pool_releases_its_seed_segments(monkeypatch):
+    """KeyboardInterrupt mid-batch must reclaim shared memory, not just the
+    worker processes (companion to the lifecycle test in test_parallel)."""
+    schema, pairs = containment_batch("medical")
+    engine = seeded_engine_and_pool(schema, pairs)
+    try:
+        engine.check_many(pairs[:2], schema=schema, parallel="process")
+        pool = engine.process_pool()
+        segment_names = [segment.name for segment in pool._segments]
+        if segment_names:  # skip-free: under REPRO_NO_SHM there is no segment
+            assert set(segment_names) <= set(live_seed_segments())
+
+        def interrupted_receive():
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(pool, "_receive", interrupted_receive)
+        with pytest.raises(KeyboardInterrupt):
+            engine.check_many(pairs[:2], schema=schema, parallel="process")
+        assert pool.closed and not pool._segments
+        assert not set(segment_names) & set(live_seed_segments())
+    finally:
+        engine.shutdown()
+
+
+def test_dropped_pool_reaps_segments_without_close():
+    import gc
+
+    schema, pairs = containment_batch("medical")
+    engine = seeded_engine_and_pool(schema, pairs)
+    engine.check_many(pairs[:2], schema=schema, parallel="process")
+    pool = engine.process_pool()
+    segment_names = [segment.name for segment in pool._segments]
+    engine._process_pool = None  # drop without close(): only the GC finalizer runs
+    del pool
+    gc.collect()
+    assert not set(segment_names) & set(live_seed_segments())
+
+
+def test_transport_report_shapes():
+    import json
+
+    schema, pairs = containment_batch("medical")
+    engine = ContainmentEngine(max_workers=1)
+    try:
+        assert engine.transport_report() is None  # no pool yet
+        engine.check_many(pairs[:2], schema=schema, parallel="process")
+        report = engine.transport_report()
+        assert report["parent"]["items"] == 2
+        assert report["workers"] is None  # no stats collection yet
+        engine.process_pool().worker_transport()
+        report = engine.transport_report()
+        assert report["workers"]["values_registered"] >= 1
+        json.dumps(report)  # must serialise for /stats
+    finally:
+        engine.shutdown()

@@ -17,10 +17,14 @@ Two modes:
     Diff a freshly collected report against the latest committed baseline
     (``benchmarks/trend/BENCH_*.json``, highest number wins; or an explicit
     ``--baseline``).  Every numeric leaf whose key ends in ``_seconds`` is
-    compared; anything more than ``--threshold`` (default 30%) slower emits
-    a GitHub ``::warning`` annotation.  **Informational, never blocking**:
-    the exit code is 0 even with regressions — shared-runner timing noise
-    must not gate merges, the annotations just make drift visible on the PR.
+    compared; anything more than ``--threshold`` (default 30%) slower is a
+    regression.  Regressions in a **blocking** suite (``--blocking``,
+    default ``backends,service`` — the two suites that caught the parallel
+    path losing to serial) emit GitHub ``::error`` annotations and fail the
+    step with exit code 1; every other suite stays warn-only
+    (``::warning``), because shared-runner timing noise in the secondary
+    suites must not gate merges.  When ``$GITHUB_STEP_SUMMARY`` is set, a
+    per-suite markdown table of all shared timings is appended to it.
 
 Typical CI usage::
 
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 import tempfile
@@ -53,6 +58,9 @@ SUITES = (
     ("service", ["bench", "--suite", "service", "--requests", "48", "--length", "4"]),
     ("zoo", ["bench", "--suite", "zoo", "--requests", "24", "--backends", "serial,thread"]),
 )
+
+#: Suites whose regressions fail the CI step instead of merely annotating it.
+DEFAULT_BLOCKING = ("backends", "service")
 
 
 def collect(output: Path) -> int:
@@ -106,7 +114,36 @@ def latest_baseline() -> Optional[Path]:
     return max(candidates)[1] if candidates else None
 
 
-def compare(current_path: Path, baseline_path: Optional[Path], threshold: float) -> int:
+def write_step_summary(
+    rows_by_suite: Dict[str, List[Tuple[str, float, float, float, str]]],
+    blocking: frozenset,
+    threshold: float,
+) -> None:
+    """Append one markdown table per suite to ``$GITHUB_STEP_SUMMARY``."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = [f"## Benchmark trend (threshold +{threshold:.0%})", ""]
+    for suite in sorted(rows_by_suite):
+        gate = "blocking" if suite in blocking else "warn-only"
+        lines += [f"### `{suite}` ({gate})", ""]
+        lines += ["| timing | baseline | current | ratio | status |", "|---|---|---|---|---|"]
+        for path, before, after, ratio, status in rows_by_suite[suite]:
+            lines.append(
+                f"| `{path}` | {before * 1000:.1f} ms | {after * 1000:.1f} ms "
+                f"| {ratio:.2f}x | {status} |"
+            )
+        lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def compare(
+    current_path: Path,
+    baseline_path: Optional[Path],
+    threshold: float,
+    blocking: frozenset = frozenset(DEFAULT_BLOCKING),
+) -> int:
     if baseline_path is None:
         baseline_path = latest_baseline()
     if baseline_path is None:
@@ -120,7 +157,8 @@ def compare(current_path: Path, baseline_path: Optional[Path], threshold: float)
     shared = sorted(set(current_timings) & set(baseline_timings))
     print(
         f"bench-trend: comparing {current_path.name} against {baseline_path.name} "
-        f"({len(shared)} shared timings, threshold +{threshold:.0%})"
+        f"({len(shared)} shared timings, threshold +{threshold:.0%}, "
+        f"blocking: {', '.join(sorted(blocking)) or 'none'})"
     )
     for suite in sorted(set(current) & set(baseline)):
         here = current[suite].get("context", {}) if isinstance(current[suite], dict) else {}
@@ -132,26 +170,52 @@ def compare(current_path: Path, baseline_path: Optional[Path], threshold: float)
                 f"baseline: {there.get('cpu_count')} cpus, {there.get('platform')})"
             )
 
-    regressions = 0
+    warnings = 0
+    failures = 0
+    rows_by_suite: Dict[str, List[Tuple[str, float, float, float, str]]] = {}
     for path in shared:
         before, after = baseline_timings[path], current_timings[path]
         if before <= 0:
             continue
+        suite = path.split(".", 1)[0]
         ratio = after / before
+        status = "ok"
         marker = ""
         if ratio > 1 + threshold and after - before > 0.001:  # ignore sub-ms jitter
-            regressions += 1
-            marker = "  <-- regression"
-            print(
-                f"::warning title=Benchmark regression::{path} is {ratio:.2f}x the "
-                f"baseline ({before * 1000:.1f} ms -> {after * 1000:.1f} ms); "
-                f"informational only — see the context blocks in {current_path.name}"
-            )
+            if suite in blocking:
+                failures += 1
+                status = "regression (blocking)"
+                marker = "  <-- regression (blocking)"
+                print(
+                    f"::error title=Benchmark regression::{path} is {ratio:.2f}x the "
+                    f"baseline ({before * 1000:.1f} ms -> {after * 1000:.1f} ms); "
+                    f"the {suite!r} suite gates merges — see the context blocks "
+                    f"in {current_path.name}"
+                )
+            else:
+                warnings += 1
+                status = "regression (warn-only)"
+                marker = "  <-- regression"
+                print(
+                    f"::warning title=Benchmark regression::{path} is {ratio:.2f}x the "
+                    f"baseline ({before * 1000:.1f} ms -> {after * 1000:.1f} ms); "
+                    f"informational only — see the context blocks in {current_path.name}"
+                )
         print(f"  {path}: {before * 1000:9.1f} ms -> {after * 1000:9.1f} ms ({ratio:5.2f}x){marker}")
+        rows_by_suite.setdefault(suite, []).append((path, before, after, ratio, status))
+
+    write_step_summary(rows_by_suite, blocking, threshold)
     print(
-        f"bench-trend: {regressions} regression(s) beyond +{threshold:.0%} "
-        f"across {len(shared)} timings (informational, never blocking)"
+        f"bench-trend: {failures} blocking and {warnings} warn-only regression(s) "
+        f"beyond +{threshold:.0%} across {len(shared)} timings"
     )
+    if failures:
+        print(
+            f"bench-trend: FAILED — {failures} regression(s) in blocking suite(s) "
+            f"({', '.join(sorted(blocking))}); re-run to rule out runner noise or "
+            "commit a new baseline with a justification"
+        )
+        return 1
     return 0
 
 
@@ -175,11 +239,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare_parser.add_argument(
         "--threshold", type=float, default=0.30, help="warn beyond this slowdown (default: 0.30)"
     )
+    compare_parser.add_argument(
+        "--blocking",
+        default=",".join(DEFAULT_BLOCKING),
+        help="comma-separated suites whose regressions fail the step "
+        f"(default: {','.join(DEFAULT_BLOCKING)}; pass '' for warn-only everywhere)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "collect":
         return collect(args.output)
-    return compare(args.current, args.baseline, args.threshold)
+    blocking = frozenset(name.strip() for name in args.blocking.split(",") if name.strip())
+    return compare(args.current, args.baseline, args.threshold, blocking)
 
 
 if __name__ == "__main__":
