@@ -1,6 +1,6 @@
 """Compiled automaton core benchmark: cold vs memoized compilation.
 
-Three claims are checked (harness in :mod:`repro.core.benchmarks`, the same
+Four claims are checked (harness in :mod:`repro.core.benchmarks`, the same
 code behind ``python -m repro bench --suite automata``):
 
 1. **compile memoization** — replaying the corpus against the warm
@@ -10,19 +10,28 @@ code behind ``python -m repro bench --suite automata``):
    compiled automaton's tuple is **≥ 2× faster** than re-running
    ``NFA.enumerate_words`` per request, and the minimal DFAs are no larger
    than the NFAs they canonicalise;
-3. **prefix sharing** — on a sparse-witness instance (every pattern refuted,
+3. **dense kernels** — the uncached per-word enumeration cost drops against
+   the historical dict-walk implementations: **≥ 5×** on the NFA's pumped
+   search (the dominant Theorem 6.1 cost) and **≥ 2×** on minimal-DFA
+   enumeration, word lists checked identical inside the harness;
+4. **prefix sharing** — on a sparse-witness instance (every pattern refuted,
    the refutation visible on a two-atom prefix) the
    :class:`repro.core.PrefixPruner` enumeration is **≥ 2× faster** than
    chasing every combination independently, with verdict, regime and
    pattern counter asserted bit-identical inside the harness.
 
-The 2× figures are the acceptance gates; measured speedups are typically two
-to three orders of magnitude (see the printed report lines).
+The gate figures are acceptance thresholds below the typical measurement
+(see the printed report lines).  The DFA enumeration gate is 2× rather than
+5× deliberately: both implementations pay the same per-word tuple
+materialisation for every emitted word, which caps the reachable ratio at
+roughly 3× on this corpus (measured ~2.9×) — the 5× claim belongs to the
+NFA row, where the dict walk's per-expansion dict copies dominate.
 """
 
 from repro.core import benchmarks
 
 GATE_SPEEDUP = 2.0
+GATE_NFA_KERNEL_SPEEDUP = 5.0
 
 
 def test_compile_memoization_speedup():
@@ -56,6 +65,34 @@ def test_enumeration_memoization_speedup():
     # word); 2x slack so scheduler noise on a shared runner cannot flip a
     # few-millisecond measurement (typical margin is ~4x)
     assert report["dfa_microseconds_per_word"] <= 2.0 * report["nfa_microseconds_per_word"]
+
+
+def test_kernel_speedups():
+    # the harness itself asserts word-for-word enumeration identity and
+    # batch-acceptance parity before any clock starts
+    report = benchmarks.kernel_benchmark()
+    nfa = report["nfa_enumeration"]
+    dfa = report["dfa_enumeration"]
+    batch = report["batch_acceptance"]
+    print(
+        f"\nkernels ({'numpy' if report['numpy'] else 'stdlib'}): "
+        f"nfa {nfa['dictwalk_microseconds_per_word']:.2f} -> "
+        f"{nfa['kernel_microseconds_per_word']:.2f} us/word ({nfa['speedup']:.1f}x), "
+        f"dfa {dfa['dictwalk_microseconds_per_word']:.2f} -> "
+        f"{dfa['kernel_microseconds_per_word']:.2f} us/word ({dfa['speedup']:.1f}x), "
+        f"batch acceptance {batch['speedup']:.1f}x over {batch['words']} words"
+    )
+    assert nfa["speedup"] >= GATE_NFA_KERNEL_SPEEDUP, (
+        f"NFA enumeration kernel speedup {nfa['speedup']:.2f}x "
+        f"< required {GATE_NFA_KERNEL_SPEEDUP}x"
+    )
+    assert dfa["speedup"] >= GATE_SPEEDUP, (
+        f"DFA enumeration kernel speedup {dfa['speedup']:.2f}x < required {GATE_SPEEDUP}x"
+    )
+    # batch acceptance is reported, parity-checked, but not speed-gated: the
+    # stdlib per-word walk early-exits on the dead sink, so the dense win is
+    # modest (~2x) and can dip under scheduler noise
+    assert batch["words"] > 0
 
 
 def test_prefix_sharing_speedup():

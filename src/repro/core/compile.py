@@ -37,6 +37,7 @@ from ..rpq.automaton import NFA, build_nfa
 from ..rpq.regex import Regex, Symbol, canonical_token
 from .dfa import DFA, determinize
 from .interning import SymbolTable, symbol_table
+from .kernels import DenseDFA
 
 __all__ = ["CompiledAutomaton", "clear_compile_memo", "compile_regex", "has_productive_cycle"]
 
@@ -120,6 +121,15 @@ class CompiledAutomaton:
         if self._min_dfa is None:
             self._min_dfa = self.dfa().minimize()
         return self._min_dfa
+
+    def dense_minimal_dfa(self) -> "DenseDFA":
+        """The minimal DFA's flat-array kernel form (memoized on the DFA).
+
+        This is what the transport ships as a context seed and what the
+        batch/emptiness kernels run on; it is derived from (and cached with)
+        :meth:`minimal_dfa`, so it costs nothing extra after the first call.
+        """
+        return self.minimal_dfa().dense()
 
     def has_productive_cycle(self) -> bool:
         """Cached :func:`has_productive_cycle` of the NFA (infinite language?)."""

@@ -32,8 +32,11 @@ This module supplies the three mechanisms that make the boundary cheap
   already paid for symbol interning and DFA construction; a freshly spawned
   worker should not pay again.  :func:`build_context_seed` snapshots, per
   schema context, the :class:`~repro.core.interning.SymbolTable` (symbols in
-  arrival order — ids are positional) and the computed DFA transition
-  arrays of every compiled automaton; :func:`publish_seed` ships the pickled
+  arrival order — ids are positional) and, for every compiled automaton, the
+  computed DFAs' flat dense tables (the already-built
+  :class:`~repro.core.kernels.DenseDFA` buffers, shipped as bytes — far
+  smaller than per-transition triples, and ``TransportStats`` reports both
+  sizes); :func:`publish_seed` ships the pickled
   seed through one :mod:`multiprocessing.shared_memory` segment (one copy
   for the whole pool, attached read-only by each worker) with a
   pickle-through-queue fallback when shared memory is unavailable or
@@ -62,6 +65,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from ..core.compile import CompiledAutomaton, compile_regex
 from ..core.dfa import DFA
 from ..core.interning import symbol_table
+from ..core.kernels import DenseDFA
 
 __all__ = [
     "SHM_DISABLE_VARIABLE",
@@ -105,6 +109,8 @@ class TransportStats:
     fallback_items: int = 0  # items re-sent with full payloads after a miss
     seeds_published: int = 0
     shm_segments: int = 0  # seeds that went through shared memory
+    seed_bytes: int = 0  # pickled seed size actually shipped (dense tables)
+    seed_bytes_legacy: int = 0  # what the per-transition triple encoding weighed
 
     def as_dict(self) -> Dict[str, Any]:
         return {field.name: getattr(self, field.name) for field in fields(self)}
@@ -280,17 +286,57 @@ def decode_payload(
 def _dfa_spec(dfa: Optional[DFA]) -> Optional[Tuple]:
     """A table-independent description of *dfa* (``None`` stays ``None``).
 
-    Symbol ids inside the transitions are positions in the seed's symbol
+    The payload is the automaton's dense kernel form: ``(num_states,
+    initial, final, alphabet ids, flat table bytes)``.  The byte string is
+    the :class:`~repro.core.kernels.DenseDFA` buffer the parent already
+    computed (``tobytes`` of the backing ``array('i')`` — no per-transition
+    re-derivation), and symbol ids are positions in the seed's symbol
     snapshot — valid in any table whose arrival-order prefix matches it.
     """
     if dfa is None:
         return None
+    dense = dfa.dense()
     return (
-        dfa.num_states,
-        dfa.initial,
-        tuple(sorted(dfa.final)),
-        tuple(sorted(dfa.transitions())),
+        dense.num_states,
+        dense.initial,
+        dense.final,
+        dense.alphabet,
+        dense.tobytes(),
     )
+
+
+def _legacy_seed_bytes(seed: Dict[str, Dict[str, Any]]) -> int:
+    """The pickled size of *seed* under the old per-transition encoding.
+
+    Reconstructed from the dense specs themselves (rare — once per seed
+    publication) so ``TransportStats`` can report the payload shrink the
+    dense tables buy without keeping two encoders alive.
+    """
+    legacy: Dict[str, Dict[str, Any]] = {}
+    for context, entry in seed.items():
+        automata = []
+        for regex, dfa_spec, min_spec in entry["automata"]:
+            automata.append(
+                (regex, _triples_from_spec(dfa_spec), _triples_from_spec(min_spec))
+            )
+        legacy[context] = {"symbols": entry["symbols"], "automata": tuple(automata)}
+    return len(pickle.dumps(legacy, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _triples_from_spec(spec: Optional[Tuple]) -> Optional[Tuple]:
+    """The old ``(num_states, initial, final, sorted transition triples)`` form."""
+    if spec is None:
+        return None
+    num_states, initial, final, alphabet, buffer = spec
+    dense = DenseDFA.from_bytes(num_states, initial, final, alphabet, buffer)
+    width, flat = dense.width, dense.table
+    triples = sorted(
+        (state, alphabet[column], target)
+        for state in range(num_states)
+        for column in range(width)
+        if (target := flat[state * width + column]) >= 0
+    )
+    return (num_states, initial, tuple(sorted(final)), tuple(triples))
 
 
 def build_context_seed(
@@ -320,6 +366,13 @@ def build_context_seed(
         entry["symbols"] = symbol_table(context).snapshot()
         entry["automata"] = tuple(entry["automata"])
     return per_context
+
+
+def _dfa_from_spec(table: Any, spec: Tuple) -> DFA:
+    """Reattach one shipped dense table as a worker-side :class:`DFA`."""
+    num_states, initial, final, alphabet, buffer = spec
+    dense = DenseDFA.from_bytes(num_states, initial, final, alphabet, buffer)
+    return DFA.from_dense(table, dense)
 
 
 def install_context_seed(
@@ -355,10 +408,10 @@ def install_context_seed(
         for regex, dfa_spec, min_spec in entry["automata"]:
             bundle = compile_regex(regex, context)
             if dfa_spec is not None and bundle._dfa is None:
-                bundle._dfa = DFA(table, dfa_spec[0], dfa_spec[1], dfa_spec[2], dfa_spec[3])
+                bundle._dfa = _dfa_from_spec(table, dfa_spec)
                 installed += 1
             if min_spec is not None and bundle._min_dfa is None:
-                bundle._min_dfa = DFA(table, min_spec[0], min_spec[1], min_spec[2], min_spec[3])
+                bundle._min_dfa = _dfa_from_spec(table, min_spec)
                 installed += 1
     stats.automata_seeded += installed
     return installed
@@ -411,6 +464,11 @@ def publish_seed(seed: Dict[str, Any], stats: TransportStats) -> Tuple[Tuple, Op
     """
     blob = pickle.dumps(seed, protocol=pickle.HIGHEST_PROTOCOL)
     stats.seeds_published += 1
+    stats.seed_bytes += len(blob)
+    try:
+        stats.seed_bytes_legacy += _legacy_seed_bytes(seed)
+    except Exception:  # noqa: BLE001 - accounting must never block a publish
+        stats.seed_bytes_legacy += len(blob)
     if not shared_memory_disabled():
         try:
             from multiprocessing import shared_memory

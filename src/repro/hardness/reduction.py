@@ -199,15 +199,17 @@ def build_instance(atm: ATM, word: str, space: Optional[int] = None) -> Hardness
                         negative_parts.append(
                             concat(state_at(position, left_state), state_at(other, right_state))
                         )
-    # transition edges that do not match the state kind
-    for state in atm.universal_states:
+    # transition edges that do not match the state kind (the state frozensets
+    # are iterated sorted: union branch order decides automaton state numbering
+    # and hence result fingerprints, which must not depend on the hash seed)
+    for state in sorted(atm.universal_states):
         negative_parts.append(nest(state_somewhere(state), union(edge("any1"), edge("any2"))))
-    for state in atm.existential_states:
+    for state in sorted(atm.existential_states):
         negative_parts.append(nest(state_somewhere(state), union(edge("all1"), edge("all2"))))
     for final in (atm.accept_state, atm.reject_state):
         negative_parts.append(nest(state_somewhere(final), forward_edges))
     # existential configurations with both existential edges
-    for state in atm.existential_states:
+    for state in sorted(atm.existential_states):
         negative_parts.append(nest(nest(state_somewhere(state), edge("any1")), edge("any2")))
     # the initial configuration must be the root of the run
     negative_parts.append(nest(state_somewhere(atm.initial_state), backward_edges))
@@ -243,11 +245,11 @@ def build_instance(atm: ATM, word: str, space: Optional[int] = None) -> Hardness
         )
     )
     transition_parts: List[Regex] = []
-    for state in atm.universal_states:
+    for state in sorted(atm.universal_states):
         transition_parts.append(
             nest(nest(state_somewhere(state), edge("all1")), edge("all2"))
         )
-    for state in atm.existential_states:
+    for state in sorted(atm.existential_states):
         transition_parts.append(
             nest(state_somewhere(state), union(edge("any1"), edge("any2")))
         )

@@ -178,6 +178,30 @@ class NFA:
         the unrolling of cycles (the satisfiability engine's completeness
         bound, see docs/ARCHITECTURE.md, stage 5 "Chase"); *max_length* and
         *max_words* are additional hard caps.
+
+        The search runs on the kernel fast path
+        (:func:`repro.core.kernels.enumerate_nfa_words`: adjacency sorted
+        once per automaton, ``bytes`` visit counters) whenever the repeat
+        bound fits a byte; word set and order are identical to
+        :meth:`_enumerate_words_dictwalk`, the historical implementation
+        kept as the benchmark and property-test reference.
+        """
+        if 0 <= max_state_repeats <= 255:
+            from ..core.kernels import enumerate_nfa_words  # deferred: core builds on this module
+
+            return enumerate_nfa_words(self, max_length, max_state_repeats, max_words)
+        return self._enumerate_words_dictwalk(max_length, max_state_repeats, max_words)
+
+    def _enumerate_words_dictwalk(
+        self,
+        max_length: int = 12,
+        max_state_repeats: int = 2,
+        max_words: int = 10_000,
+    ) -> Iterator[Tuple[Symbol, ...]]:
+        """The historical dict-walk enumeration, kept verbatim.
+
+        :meth:`enumerate_words` must stay word-for-word identical to this
+        (it also serves repeat bounds beyond the kernel's byte counters).
         """
         emitted = 0
         seen_words: Set[Tuple[Symbol, ...]] = set()
@@ -310,17 +334,30 @@ def build_nfa(expr: Regex) -> NFA:
 
     The result has O(|expr|) states, as required by the rolling-up lemma.
     """
+    from ..core.kernels import bitset_closure  # deferred: core builds on this module
+
     builder = _Builder()
     fragment = builder.build(expr)
-    closures = {state: builder.epsilon_closure(state) for state in range(builder.counter)}
+    # all ε-closures at once as int bitsets (bit j of closures[i] ⇔ j is in
+    # the closure of i) — same sets the per-state DFS produced
+    closures = bitset_closure(
+        builder.counter,
+        (
+            (source, target)
+            for source, targets in builder.epsilon.items()
+            for target in targets
+        ),
+    )
 
     transitions: List[Tuple[int, Symbol, int]] = []
     for source, symbol, target in builder.labelled:
-        for origin, closure in closures.items():
-            if source in closure:
+        source_bit = 1 << source
+        for origin in range(builder.counter):
+            if closures[origin] & source_bit:
                 transitions.append((origin, symbol, target))
 
-    final = {state for state, closure in closures.items() if fragment.end in closure}
+    end_bit = 1 << fragment.end
+    final = {state for state in range(builder.counter) if closures[state] & end_bit}
     # keep only states reachable from the start to stay small
     return NFA(range(builder.counter), {fragment.start}, final, transitions).trim()
 

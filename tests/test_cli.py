@@ -160,13 +160,18 @@ def test_bench_automata_suite_json_report(capsys):
     assert code == 0
     report = json.loads(capsys.readouterr().out)
     assert report["suite"] == "automata"
-    assert set(report) == {"suite", "compile", "enumeration", "prefix_sharing", "context"}
+    assert set(report) == {"suite", "compile", "enumeration", "kernels", "prefix_sharing", "context"}
     assert report["context"]["cpu_count"] >= 1
     assert report["context"]["rng_seed"] == 1729
     assert report["compile"]["regexes"] > 0
     assert report["compile"]["speedup"] > 0
     # corpus-specific expectation (see bench_automaton_compile.py), not an invariant
     assert report["enumeration"]["minimal_dfa_states"] <= report["enumeration"]["nfa_states"]
+    # kernel rows carry both sides of every comparison (equality is asserted
+    # inside the harness; speed gates live in bench_automaton_compile.py)
+    for row in ("nfa_enumeration", "dfa_enumeration", "batch_acceptance"):
+        assert report["kernels"][row]["words"] > 0
+        assert report["kernels"][row]["speedup"] > 0
     # the pruned run is observationally identical (asserted inside the harness)
     assert report["prefix_sharing"]["satisfiable"] is False
     assert report["prefix_sharing"]["patterns_checked"] > 0
@@ -176,7 +181,7 @@ def test_bench_automata_suite_text_summary(capsys):
     code = main(["bench", "--suite", "automata", "--repeats", "1", "--requests", "2"])
     assert code == 0
     out = capsys.readouterr().out
-    assert "compile:" in out and "prefix sharing:" in out
+    assert "compile:" in out and "prefix sharing:" in out and "kernels" in out
 
 
 def test_bench_backends_report_carries_context(capsys):

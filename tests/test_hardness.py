@@ -113,6 +113,31 @@ class TestReduction:
         assert len(instance.positive.atoms) == 1 and len(instance.negative.atoms) == 1
         assert instance.positive.is_acyclic() and instance.negative.is_acyclic()
 
+    def test_reduction_queries_are_hash_seed_independent(self):
+        """The generated query text must not depend on PYTHONHASHSEED: union
+        branch order decides downstream automaton state numbering and hence
+        result fingerprints, which must match across separate processes."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.hardness import build_instance, alternating_and_or_machine\n"
+            "inst = build_instance(alternating_and_or_machine(), '10', space=2)\n"
+            "print(inst.positive.atoms[0].regex)\n"
+            "print(inst.negative.atoms[0].regex)\n"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for seed in ("0", "1", "42")
+        }
+        assert len(outputs) == 1
+
     def test_schema_shape_matches_figure_7(self):
         instance = build_instance(even_ones_machine(), "10", space=2)
         assert instance.schema.node_labels == {"Config", "Pos", "Symb", "St"}

@@ -248,6 +248,18 @@ def test_publish_falls_back_to_pickle_when_disabled(monkeypatch):
     assert load_seed(wire) == seed
 
 
+def test_dense_seed_payload_is_smaller_than_the_legacy_triples(monkeypatch):
+    monkeypatch.setenv(SHM_DISABLE_VARIABLE, "1")
+    seed = build_context_seed(
+        [warm_bundle("(a + b + c)* . d . (a + b)*", "test-seed-size")]
+    )
+    stats = TransportStats()
+    publish_seed(seed, stats)
+    # the dense byte-table encoding must undercut the per-transition triple
+    # lists it replaced; both sizes are reported so the shrink stays visible
+    assert 0 < stats.seed_bytes < stats.seed_bytes_legacy
+
+
 # --------------------------------------------------------------------------- #
 # the pool under degraded transport
 # --------------------------------------------------------------------------- #
