@@ -47,7 +47,14 @@ from .analysis import (
     type_check_many,
 )
 from .containment import ContainmentResult, contains
-from .engine import ContainmentEngine, ContainmentRequest, default_engine
+from .engine import (
+    ContainmentEngine,
+    ContainmentRequest,
+    EvolveReport,
+    InvalidationReport,
+    SchemaDelta,
+    default_engine,
+)
 from .store import ResultStore
 
 __version__ = "1.0.0"
@@ -82,6 +89,9 @@ __all__ = [
     "contains",
     "ContainmentEngine",
     "ContainmentRequest",
+    "EvolveReport",
+    "InvalidationReport",
+    "SchemaDelta",
     "default_engine",
     "ResultStore",
     "__version__",

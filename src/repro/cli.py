@@ -353,9 +353,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_service(args)
     if args.suite == "zoo":
         return _cmd_bench_zoo(args)
+    if args.suite == "evolve":
+        return _cmd_bench_evolve(args)
     if args.repeats is not None or args.requests is not None:
         print(
-            "bench: --repeats/--requests only apply to --suite automata/service; ignoring",
+            "bench: --repeats/--requests only apply to --suite "
+            "automata/service/zoo/evolve; ignoring",
             file=sys.stderr,
         )
     if args.persist:
@@ -637,6 +640,96 @@ def _cmd_bench_zoo(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_bench_evolve(args: argparse.Namespace) -> int:
+    """``bench --suite evolve`` — warm ``evolve()`` versus a cold re-run.
+
+    One schema edit, measured twice: run the heavy evolution corpus
+    (:func:`repro.workloads.zoo.heavy_evolution_corpus` — wide balanced-union
+    regexes where automaton compilation dominates) against the old schema,
+    call :meth:`~repro.engine.ContainmentEngine.evolve` to the single-axiom
+    edit, and re-run against the new schema on (a) the evolved engine and
+    (b) a fresh engine with the process-wide compile memo cleared.  Verdict
+    fingerprints are asserted identical between the two before any timing
+    claim; the exit code reports that identity, the speedup is data for the
+    trend tracker (the hard ≥2x gate lives in
+    ``benchmarks/bench_schema_evolution.py``).
+    """
+    from .chase.solver import SatisfiabilityConfig
+    from .containment.solver import ContainmentConfig
+    from .core import clear_compile_memo
+    from .workloads.zoo import HEAVY_EVOLUTION_WORD_CAP, heavy_evolution_corpus
+
+    ignored = []
+    if args.spec:
+        ignored.append("--spec")
+    if args.workload != "medical":
+        ignored.append("--workload")
+    if args.length != 8:
+        ignored.append("--length")
+    if args.persist:
+        ignored.append("--persist")
+    if args.backends != "serial,thread,process":
+        ignored.append("--backends")
+    if ignored:
+        print(
+            f"bench: {', '.join(ignored)} do(es) not apply to --suite evolve "
+            "(it runs the seeded heavy evolution corpus serially); ignoring",
+            file=sys.stderr,
+        )
+
+    context = _context_block()
+    queries = args.requests if args.requests is not None else 8
+    old_schema, new_schema, pairs = heavy_evolution_corpus(queries=queries)
+    config = ContainmentConfig(
+        satisfiability=SatisfiabilityConfig(max_words_per_atom=HEAVY_EVOLUTION_WORD_CAP)
+    )
+
+    def run(engine: ContainmentEngine, schema: Schema) -> Tuple[List[Any], float]:
+        started = time.perf_counter()
+        results = [engine.contains(left, right, schema, config) for left, right in pairs]
+        return results, time.perf_counter() - started
+
+    clear_compile_memo()
+    engine = ContainmentEngine()
+    try:
+        _, warm_old_seconds = run(engine, old_schema)
+        evolve_report = engine.evolve(old_schema, new_schema)
+        warm_results, warm_seconds = run(engine, new_schema)
+    finally:
+        engine.close()
+    clear_compile_memo()
+    cold_engine = ContainmentEngine()
+    try:
+        cold_results, cold_seconds = run(cold_engine, new_schema)
+    finally:
+        cold_engine.close()
+
+    identical = _batch_fingerprint(warm_results) == _batch_fingerprint(cold_results)
+    speedup = cold_seconds / warm_seconds if warm_seconds else None
+    report = {
+        "suite": "evolve",
+        "tasks": len(pairs),
+        "evolve": evolve_report.as_dict(),
+        "warm_old_seconds": warm_old_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_seconds": cold_seconds,
+        "speedup": speedup,
+        "verdicts_identical": identical,
+        "context": context,
+    }
+    speedup_text = f"{speedup:.1f}x" if speedup is not None else "inf"
+    summary = (
+        f"evolve: {len(pairs)} containment tests across one schema edit — "
+        f"old-schema warm-up {warm_old_seconds * 1000:.1f} ms, "
+        f"post-evolve {warm_seconds * 1000:.1f} ms, "
+        f"cold re-run {cold_seconds * 1000:.1f} ms ({speedup_text} warm speedup)\n"
+        + "\n".join("  " + line for line in evolve_report.summary().splitlines())
+        + f"\n  verdicts identical warm/cold: {identical}"
+    )
+    _emit(report, args.json, summary)
+    return 0 if identical else 1
+
+
 def _cmd_bench_service(args: argparse.Namespace) -> int:
     """``bench --suite service`` — coalesced versus per-request throughput.
 
@@ -831,7 +924,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """``cache stats|clear|export|warm`` — manage a persistent store file."""
+    """``cache stats|clear|export|warm|invalidate|evolve`` — manage a store file.
+
+    ``invalidate`` renders the structured
+    :class:`~repro.engine.InvalidationReport` and ``evolve`` the
+    :class:`~repro.engine.EvolveReport` for a store-backed engine; both run
+    against a fresh engine, so their in-memory tiers are empty and the
+    interesting numbers are the store rows dropped/written.
+    """
     path = Path(args.persist)
 
     if args.cache_command == "stats":
@@ -896,6 +996,32 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             _emit(report, args.json,
                   f"{path}: warmed with {label} ({len(pairs)} tests, "
                   f"{store_block['stats']['writes']} writes, {entries} entries total)")
+        return 0
+
+    if args.cache_command == "invalidate":
+        if args.schema_file:
+            schema = parse_schema(Path(args.schema_file).read_text(encoding="utf-8"))
+        else:
+            schema, _ = containment_batch(args.workload, length=args.length)
+        with ContainmentEngine(persist=path) as engine:
+            report = engine.invalidate_schema(schema)
+        _emit(
+            {"path": str(path), **report.as_dict()},
+            args.json,
+            f"{path}:\n" + "\n".join("  " + line for line in report.summary().splitlines()),
+        )
+        return 0
+
+    if args.cache_command == "evolve":
+        old_schema = parse_schema(Path(args.old).read_text(encoding="utf-8"))
+        new_schema = parse_schema(Path(args.new).read_text(encoding="utf-8"))
+        with ContainmentEngine(persist=path) as engine:
+            report = engine.evolve(old_schema, new_schema)
+        _emit(
+            {"path": str(path), **report.as_dict()},
+            args.json,
+            f"{path}:\n" + "\n".join("  " + line for line in report.summary().splitlines()),
+        )
         return 0
 
     raise SystemExit(f"cache: unknown subcommand {args.cache_command!r}")
@@ -992,7 +1118,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(bench)
     bench.add_argument(
         "--suite",
-        choices=("backends", "automata", "store", "service", "zoo"),
+        choices=("backends", "automata", "store", "service", "zoo", "evolve"),
         default="backends",
         help=(
             "benchmark suite: 'backends' compares execution backends on a workload, "
@@ -1000,7 +1126,9 @@ def build_parser() -> argparse.ArgumentParser:
             "cold-vs-warm contrast of the persistent result store, 'service' the "
             "coalesced-vs-per-request throughput of the serving layer with "
             "p50/p95/p99 latency percentiles, 'zoo' the property-based plus "
-            "adversarial workload zoo across backends (default: backends)"
+            "adversarial workload zoo across backends, 'evolve' the warm "
+            "engine.evolve() versus cold re-run contrast across a schema edit "
+            "(default: backends)"
         ),
     )
     bench.add_argument("--spec", help="JSON spec file (overrides --workload)")
@@ -1023,7 +1151,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "automata suite: word-list requests per regex in the enumeration timing "
             "(default: 50); service suite: streamed request count (default: 96); "
-            "zoo suite: property-based pair count (default: 72)"
+            "zoo suite: property-based pair count (default: 72); evolve suite: "
+            "heavy corpus pair count (default: 8)"
         ),
     )
     bench.add_argument(
@@ -1193,6 +1322,26 @@ def build_parser() -> argparse.ArgumentParser:
     cache_warm.add_argument("--spec", help="JSON spec file (overrides --workload)")
     _add_persist_argument(cache_warm, "the store file to warm", required=True)
     _add_report_argument(cache_warm)
+
+    cache_invalidate = cache_commands.add_parser(
+        "invalidate",
+        help="drop one schema's persisted rows, reported per tier",
+    )
+    _add_workload_arguments(cache_invalidate)
+    cache_invalidate.add_argument(
+        "--schema-file", help="schema DSL file (overrides --workload)"
+    )
+    _add_persist_argument(cache_invalidate, "the store file to invalidate in", required=True)
+    _add_report_argument(cache_invalidate)
+
+    cache_evolve = cache_commands.add_parser(
+        "evolve",
+        help="migrate a store across a schema edit (drops the old namespace)",
+    )
+    cache_evolve.add_argument("--old", required=True, help="old schema DSL file")
+    cache_evolve.add_argument("--new", required=True, help="new schema DSL file")
+    _add_persist_argument(cache_evolve, "the store file to migrate", required=True)
+    _add_report_argument(cache_evolve)
 
     cache.set_defaults(handler=_cmd_cache)
 

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import itertools
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
@@ -238,41 +237,13 @@ class ContainmentSolver:
         minimal DFA, cycle/emptiness flags, memoized pumped word lists);
         symbols intern into the table of this solver's schema fingerprint.
         :class:`repro.engine.ContainmentEngine` overrides this to serve the
-        bundle from its automaton cache.  Subclasses that still override the
-        legacy :meth:`_build_nfa` hook are honoured: their NFA is wrapped in
-        an (unmemoized) bundle, so custom automaton substitution keeps
-        working across the core refactor.
+        bundle from its automaton cache.  (The pre-core ``_build_nfa`` hook
+        finished its deprecation cycle and is gone; subclasses substitute
+        automata by overriding this method.)
         """
         if self._intern_context is None:
             self._intern_context = self.schema.canonical_fingerprint()
-        compiled = compile_regex(regex, self._intern_context)
-        if type(self)._build_nfa is not ContainmentSolver._build_nfa:
-            nfa = self._build_nfa(regex)
-            if nfa is not compiled.nfa:
-                return CompiledAutomaton(regex, self._intern_context, nfa=nfa)
-        return compiled
-
-    def _build_nfa(self, regex):
-        """Deprecated stage-5 hook — kept for subclasses of the pre-core API.
-
-        The pipeline now routes through :meth:`_compile_automaton`, which
-        detects an overridden ``_build_nfa`` and wraps the override's NFA,
-        so old subclasses keep observing (and substituting) the automaton
-        construction.  The default resolves through the same compile memo —
-        deliberately not via :meth:`_compile_automaton`, so an override
-        calling ``super()._build_nfa(...)`` cannot recurse — and warns:
-        callers should move to ``_compile_automaton`` (the bundle's ``.nfa``
-        is the same object this returns).
-        """
-        warnings.warn(
-            "_build_nfa is deprecated; override or call _compile_automaton instead "
-            "(its CompiledAutomaton bundle exposes the same NFA as .nfa)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._intern_context is None:
-            self._intern_context = self.schema.canonical_fingerprint()
-        return compile_regex(regex, self._intern_context).nfa
+        return compile_regex(regex, self._intern_context)
 
     # ------------------------------------------------------------------ #
     # satisfiability of the reduced left-hand side

@@ -13,7 +13,10 @@ docs/ARCHITECTURE.md, "The compiled automaton core"):
   shortest-witness / language-enumeration operations;
 * :class:`CompiledAutomaton` / :func:`compile_regex` — the memoized bundle
   of NFA, minimal DFA, cycle/emptiness flags and pumped word lists per
-  structural regex (:func:`clear_compile_memo` resets it for cold runs);
+  structural regex (:func:`clear_compile_memo` resets it for cold runs;
+  :func:`rebase_compiled` / :func:`install_compiled` / :func:`adopt_context`
+  are the schema-evolution hooks that migrate bundles and their symbol
+  table between fingerprint namespaces);
 * :func:`has_productive_cycle` — the shared finiteness test;
 * :class:`PrefixPruner` — verdict-preserving prefix sharing for the
   solvers' pattern enumeration.
@@ -23,9 +26,16 @@ automata benchmark harness behind ``python -m repro bench --suite automata``
 and ``benchmarks/bench_automaton_compile.py``.
 """
 
-from .compile import CompiledAutomaton, clear_compile_memo, compile_regex, has_productive_cycle
+from .compile import (
+    CompiledAutomaton,
+    clear_compile_memo,
+    compile_regex,
+    has_productive_cycle,
+    install_compiled,
+    rebase_compiled,
+)
 from .dfa import DFA, determinize
-from .interning import SymbolTable, symbol_table
+from .interning import SymbolTable, adopt_context, symbol_table
 from .prefix import PrefixPruner
 
 __all__ = [
@@ -33,9 +43,12 @@ __all__ = [
     "DFA",
     "PrefixPruner",
     "SymbolTable",
+    "adopt_context",
     "clear_compile_memo",
     "compile_regex",
     "determinize",
     "has_productive_cycle",
+    "install_compiled",
+    "rebase_compiled",
     "symbol_table",
 ]

@@ -39,7 +39,14 @@ from .dfa import DFA, determinize
 from .interning import SymbolTable, symbol_table
 from .kernels import DenseDFA
 
-__all__ = ["CompiledAutomaton", "clear_compile_memo", "compile_regex", "has_productive_cycle"]
+__all__ = [
+    "CompiledAutomaton",
+    "clear_compile_memo",
+    "compile_regex",
+    "has_productive_cycle",
+    "install_compiled",
+    "rebase_compiled",
+]
 
 
 def has_productive_cycle(nfa: NFA) -> bool:
@@ -86,15 +93,11 @@ class CompiledAutomaton:
         "_words",
     )
 
-    def __init__(
-        self, regex: Regex, context: Optional[str] = None, nfa: Optional[NFA] = None
-    ) -> None:
+    def __init__(self, regex: Regex, context: Optional[str] = None) -> None:
         self.regex = regex
         self.context = context
         self.table: SymbolTable = symbol_table(context)
-        # *nfa* lets legacy _build_nfa overrides substitute their automaton;
-        # such bundles are built outside the memo (see ContainmentSolver)
-        self.nfa: NFA = build_nfa(regex) if nfa is None else nfa
+        self.nfa: NFA = build_nfa(regex)
         self._token: Optional[str] = None
         self._dfa: Optional[DFA] = None
         self._min_dfa: Optional[DFA] = None
@@ -213,6 +216,53 @@ def compile_regex(regex: Regex, context: Optional[str] = None) -> CompiledAutoma
         while len(_memo) > _MEMO_LIMIT:
             _memo.popitem(last=False)
     return compiled
+
+
+def rebase_compiled(bundle: CompiledAutomaton, context: Optional[str]) -> CompiledAutomaton:
+    """A clone of *bundle* under a new intern context, sharing every artefact.
+
+    The schema-evolution path uses this to migrate automata between
+    fingerprint namespaces: the NFA, DFAs, flags and pumped word lists are
+    schema-content-independent (they derive from the regex alone), so the
+    clone references them directly — only the context string changes.  The
+    caller must have arranged (via :func:`repro.core.interning.adopt_context`)
+    that the new context resolves to the *same* :class:`SymbolTable` object;
+    the clone pins ``bundle.table`` verbatim either way, so cross-automaton
+    DFA operations keep comparing ids from one table.
+    """
+    clone = CompiledAutomaton.__new__(CompiledAutomaton)
+    clone.regex = bundle.regex
+    clone.context = context
+    clone.table = bundle.table
+    clone.nfa = bundle.nfa
+    clone._token = bundle._token
+    clone._dfa = bundle._dfa
+    clone._min_dfa = bundle._min_dfa
+    clone._has_cycle = bundle._has_cycle
+    clone._is_empty = bundle._is_empty
+    # an independent dict: later enumerations under one context must not
+    # publish into the other bundle (the tuples themselves are shared)
+    clone._words = dict(bundle._words)
+    return clone
+
+
+def install_compiled(bundle: CompiledAutomaton) -> CompiledAutomaton:
+    """Insert *bundle* into the process-wide memo; returns the canonical entry.
+
+    If the memo already holds a compilation for ``(bundle.context,
+    bundle.regex)`` that one wins (first-writer semantics, exactly like
+    :func:`compile_regex`'s double-checked insert) and is returned instead.
+    """
+    key = (bundle.context, bundle.regex)
+    with _memo_lock:
+        existing = _memo.get(key)
+        if existing is not None:
+            _memo.move_to_end(key)
+            return existing
+        _memo[key] = bundle
+        while len(_memo) > _MEMO_LIMIT:
+            _memo.popitem(last=False)
+    return bundle
 
 
 def clear_compile_memo() -> int:

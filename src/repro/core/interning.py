@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..rpq.regex import Symbol, canonical_token
 
-__all__ = ["SymbolTable", "symbol_table"]
+__all__ = ["SymbolTable", "adopt_context", "symbol_table"]
 
 
 class SymbolTable:
@@ -148,6 +148,36 @@ def symbol_table(context: Optional[str] = None) -> SymbolTable:
             _tables[context] = table
         else:
             _tables.move_to_end(context)
+        while len(_tables) > _REGISTRY_LIMIT:
+            _tables.popitem(last=False)
+        return table
+
+
+def adopt_context(old_context: str, new_context: str) -> Optional[SymbolTable]:
+    """Alias *old_context*'s table under *new_context* too; returns the table.
+
+    The schema-evolution path (:meth:`repro.engine.ContainmentEngine.evolve`)
+    uses this so automata migrated between fingerprint namespaces keep
+    sharing one table *object* — ``DFA.product`` / ``DFA.equivalent`` compare
+    ids and refuse to mix tables, so a migrated bundle and a freshly
+    compiled one must intern into the same table.  Ids never enter any
+    fingerprint (every deterministic order sorts by canonical key), so a
+    shared table cannot change verdicts.
+
+    Returns ``None`` without touching the registry when adoption is unsafe:
+    the old context's table was never created (or was evicted), or the new
+    context already holds a *different, non-empty* table — callers treat
+    ``None`` as "recompile from scratch".
+    """
+    with _registry_lock:
+        table = _tables.get(old_context)
+        if table is None:
+            return None
+        existing = _tables.get(new_context)
+        if existing is not None and existing is not table and len(existing) > 0:
+            return None
+        _tables[new_context] = table
+        _tables.move_to_end(new_context)
         while len(_tables) > _REGISTRY_LIMIT:
             _tables.popitem(last=False)
         return table

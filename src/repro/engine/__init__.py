@@ -22,6 +22,10 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
   protocol's parent- and worker-side counters;
 * :func:`merge_stats` / :func:`result_fingerprint` — pool-wide statistics
   aggregation and the verdict digest used to assert backend determinism;
+* :class:`SchemaDelta` / :class:`EvolveReport` / :class:`InvalidationReport`
+  — the schema-evolution layer (``repro.engine.delta``): axiom-level schema
+  diffs and the structured reports behind ``engine.evolve`` and
+  ``engine.invalidate_schema``;
 * :func:`default_engine` — the process-wide engine used by the stateless
   ``repro.containment.contains`` wrapper and the analysis entry points;
 * :func:`reset_default_engine` — drop the shared engine (test isolation).
@@ -29,6 +33,7 @@ docs/ARCHITECTURE.md, "The cached containment engine"):
 
 from .adaptive import AdaptiveSelector, CostProfile
 from .cache import CacheStats, LRUCache
+from .delta import EvolveReport, InvalidationReport, SchemaDelta
 from .engine import (
     ContainmentEngine,
     ContainmentRequest,
@@ -47,6 +52,9 @@ __all__ = [
     "ContainmentEngine",
     "ContainmentRequest",
     "EngineStats",
+    "EvolveReport",
+    "InvalidationReport",
+    "SchemaDelta",
     "TransportStats",
     "WorkerError",
     "WorkerPool",

@@ -46,6 +46,15 @@ read-only so they warm-start instead of recomputing.  The store is keyed by
 the same canonical fingerprints and version-stamped, so verdicts are
 bit-identical with the store hot, cold, disabled or deleted (see
 docs/ARCHITECTURE.md, "The two-tier cache hierarchy").
+
+Schema edits are first-class: :meth:`ContainmentEngine.evolve` diffs two
+schemas (:class:`~repro.engine.delta.SchemaDelta`), migrates the
+schema-content-independent artefacts — compiled automata, symbol tables,
+schema-blind verdicts — into the new fingerprint namespace across both
+cache tiers and any live worker pool, and conservatively invalidates the
+rest; :meth:`ContainmentEngine.invalidate_schema` reports its per-tier
+counts as a structured :class:`~repro.engine.delta.InvalidationReport`
+(see docs/ARCHITECTURE.md, "Schema evolution").
 """
 
 from __future__ import annotations
@@ -55,7 +64,6 @@ import hashlib
 import os
 import threading
 import time
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -67,11 +75,14 @@ from ..containment.solver import (
     ContainmentSolver,
     _as_union,
 )
+from ..core.compile import install_compiled, rebase_compiled
+from ..core.interning import adopt_context
 from ..rpq.queries import UC2RPQ
 from ..schema.schema import Schema
 from ..store import ResultStore, StoreStats
 from .adaptive import AdaptiveSelector
 from .cache import CacheStats, LRUCache
+from .delta import REPORT_TIERS, EvolveReport, InvalidationReport, SchemaDelta
 
 __all__ = [
     "ContainmentEngine",
@@ -80,6 +91,12 @@ __all__ = [
     "default_engine",
     "reset_default_engine",
 ]
+
+# extended-schema fingerprints (the booleanized schema with per-variable
+# marker labels) indexed back to their base schema — see _CachingSolver's
+# hooks; bounded FIFO so a service cycling through many schemas cannot
+# grow it without limit
+_SCHEMA_INDEX_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -238,6 +255,7 @@ class _CachingSolver(ContainmentSolver):
     def _schema_tbox(self, extended_schema: Schema):
         engine = self.engine
         key = extended_schema.canonical_fingerprint()
+        engine._record_extended(key, self.schema.canonical_fingerprint())
         with engine._lock:
             cached = engine._schema_tboxes.get(key)
         if cached is not None:
@@ -257,6 +275,9 @@ class _CachingSolver(ContainmentSolver):
 
     def _prepared_choices(self, reduction, right_name: str):
         engine = self.engine
+        engine._record_extended(
+            reduction.schema.canonical_fingerprint(), self.schema.canonical_fingerprint()
+        )
         key = (
             reduction.schema.canonical_fingerprint(),
             _digest(reduction.right.canonical_token(), right_name),
@@ -309,16 +330,7 @@ class ContainmentEngine:
         max_workers: Optional[int] = None,
         persist: Optional[Any] = None,
         persist_mode: str = "rw",
-        nfa_cache_size: Optional[int] = None,
     ) -> None:
-        if nfa_cache_size is not None:
-            warnings.warn(
-                "nfa_cache_size is deprecated; use automaton_cache_size "
-                "(the cache now holds repro.core.CompiledAutomaton bundles)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            automaton_cache_size = nfa_cache_size
         self.default_config = config or ContainmentConfig()
         self.max_workers = max_workers
         self._lock = threading.RLock()
@@ -328,6 +340,12 @@ class ContainmentEngine:
         self._automata = LRUCache("automata", automaton_cache_size)
         self._contains_calls = 0
         self._batches = 0
+        # extended-schema fingerprint → base-schema fingerprint: lets
+        # invalidate_schema/evolve find the completion and schema-tbox
+        # entries that belong to a base schema (their keys carry the
+        # *extended* fingerprint, which also depends on the query's free
+        # variable names)
+        self._schema_index: Dict[str, str] = {}
         self._closed = False
         self._process_pool: Optional[Any] = None
         # per-schema cost profiles behind parallel="auto" (repro.engine.adaptive)
@@ -740,21 +758,212 @@ class ContainmentEngine:
         with self._lock:
             for cache in (self._results, self._completions, self._schema_tboxes, self._automata):
                 cache.clear()
+            self._schema_index.clear()
 
-    def invalidate_schema(self, schema: Schema) -> int:
-        """Reclaim the result and automaton entries under *schema*'s fingerprint.
+    def _record_extended(self, extended_fingerprint: str, base_fingerprint: str) -> None:
+        """Remember which base schema an extended fingerprint derives from."""
+        with self._lock:
+            index = self._schema_index
+            index[extended_fingerprint] = base_fingerprint
+            while len(index) > _SCHEMA_INDEX_LIMIT:
+                index.pop(next(iter(index)))
+
+    def _extended_fingerprints(self, fingerprint: str) -> set:
+        """Every known extended fingerprint of the base *fingerprint* (incl. itself).
+
+        Must be called under :attr:`_lock`.  Arity-0 queries extend a schema
+        to itself, so the base fingerprint always belongs to the set.
+        """
+        extended = {ext for ext, base in self._schema_index.items() if base == fingerprint}
+        extended.add(fingerprint)
+        return extended
+
+    def invalidate_schema(self, schema: Schema) -> InvalidationReport:
+        """Drop every cached artefact under *schema*'s fingerprint, all tiers.
 
         Content-keyed caches can never serve stale answers (a mutated schema
-        fingerprints to a new key), so this is purely a memory-management
-        call; the remaining derived artefacts (encodings, completions) age
-        out via LRU.  Returns the number of dropped result entries (compiled
-        automata are dropped too but not counted — they are cheap to rebuild
-        through the core memo).
+        fingerprints to a new key), so this is a reclamation call: results
+        and automata under the base fingerprint, completions and schema
+        TBoxes under its known extended fingerprints, plus a best-effort
+        delete of the corresponding persistent-store rows (rows the engine
+        no longer knows about stay behind as dead weight — content
+        addressing means they can never be replayed incorrectly).
+
+        Returns an :class:`~repro.engine.delta.InvalidationReport` with the
+        per-tier counts; ``int(report)`` still yields the dropped-result
+        count (the former return value) with a :class:`DeprecationWarning`.
         """
-        fingerprint = schema.canonical_fingerprint()
+        return self._invalidate_fingerprint(schema.canonical_fingerprint())
+
+    def _invalidate_fingerprint(self, fingerprint: str) -> InvalidationReport:
         with self._lock:
-            self._automata.prune(lambda key: key[0] == fingerprint)
-            return self._results.prune(lambda key: key[0] == fingerprint)
+            extended = self._extended_fingerprints(fingerprint)
+            result_keys = [key for key, _ in self._results.items() if key[0] == fingerprint]
+            results = self._results.prune(lambda key: key[0] == fingerprint)
+            automata = self._automata.prune(lambda key: key[0] == fingerprint)
+            completions = self._completions.prune(lambda key: key[0] in extended)
+            schema_tboxes = self._schema_tboxes.prune(lambda key: key in extended)
+            for ext in extended:
+                self._schema_index.pop(ext, None)
+        store_rows = 0
+        if self._store is not None:
+            store_rows += self._store.delete(
+                "results", [_store_token(key) for key in result_keys]
+            )
+            store_rows += self._store.delete("schema-tboxes", sorted(extended))
+            store_rows += self._store.delete("schemas", [fingerprint])
+        return InvalidationReport(
+            fingerprint,
+            results=results,
+            completions=completions,
+            schema_tboxes=schema_tboxes,
+            automata=automata,
+            store_rows=store_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # schema evolution
+    # ------------------------------------------------------------------ #
+    def evolve(self, old_schema: Schema, new_schema: Schema) -> EvolveReport:
+        """Migrate cached artefacts from *old_schema* to *new_schema*.
+
+        The delta-aware counterpart of :meth:`invalidate_schema` for the
+        "one constraint changed, re-check everything" scenario: artefacts
+        whose content is independent of the schema's axioms — compiled
+        automaton bundles (NFAs, DFAs, pumped word enumerations), the
+        schema-fingerprint :class:`~repro.core.interning.SymbolTable`, and
+        verdicts that never consulted the schema (the empty-left short
+        circuit) — are re-keyed into *new_schema*'s fingerprint namespace,
+        written through to the persistent store, and re-broadcast to live
+        workers as context seeds.  Everything else under the old namespace
+        is dropped (conservative rule: the Horn encoding ``T̂_S`` spans the
+        schema's full domain, so any semantic edit invalidates every
+        completed TBox and with it every non-trivial verdict — when in
+        doubt, invalidate), which is exactly what keeps post-evolve verdicts
+        and ``result_fingerprint``s bit-identical to a cold start.
+
+        A fingerprint-identical edit (rename, explicitly declaring a ZERO
+        constraint) is trivial: nothing moves, everything is kept.  The old
+        schema's entries are gone afterwards either way — evolve declares
+        *old_schema* superseded; keep using plain per-call caching if both
+        versions stay live.
+        """
+        self._ensure_open()
+        started = time.perf_counter()
+        delta = SchemaDelta.between(old_schema, new_schema)
+        old_fingerprint = delta.old_fingerprint
+        new_fingerprint = delta.new_fingerprint
+        if delta.is_empty:
+            with self._lock:
+                extended = self._extended_fingerprints(old_fingerprint)
+                kept = {
+                    "results": sum(
+                        1 for key, _ in self._results.items() if key[0] == old_fingerprint
+                    ),
+                    "completions": sum(
+                        1 for key, _ in self._completions.items() if key[0] in extended
+                    ),
+                    "schema-tboxes": sum(
+                        1 for key, _ in self._schema_tboxes.items() if key in extended
+                    ),
+                    "automata": sum(
+                        1 for key, _ in self._automata.items() if key[0] == old_fingerprint
+                    ),
+                }
+            return EvolveReport(
+                delta=delta,
+                trivial=True,
+                kept=kept,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        with self._lock:
+            old_bundles = [
+                (key[1], bundle)
+                for key, bundle in self._automata.items()
+                if key[0] == old_fingerprint
+            ]
+            old_results = [
+                (key, result) for key, result in self._results.items()
+                if key[0] == old_fingerprint
+            ]
+
+        # automata and their symbol table: schema axioms never enter them,
+        # so they migrate verbatim — provided both fingerprints resolve to
+        # one table *object* (DFA cross-operations compare interned ids)
+        migrated = {tier: 0 for tier in REPORT_TIERS}
+        seed_bundles = []
+        table = adopt_context(old_fingerprint, new_fingerprint)
+        if table is not None:
+            for regex, bundle in old_bundles:
+                if bundle.table is not table:
+                    # pinned to a table since evicted from the registry;
+                    # recompiling is the only safe option
+                    continue
+                clone = install_compiled(rebase_compiled(bundle, new_fingerprint))
+                seed_bundles.append(clone)
+                with self._lock:
+                    self._automata.put((new_fingerprint, regex), clone)
+                migrated["automata"] += 1
+
+        # verdicts that never consulted the schema: the empty-left short
+        # circuit (no TBox, no patterns, no witness — replay refreshes the
+        # schema name, so the re-keyed result is bit-identical)
+        migrated_results = []
+        for (_, pair_digest, config), result in old_results:
+            if (
+                result.completion is None
+                and result.witness_pattern is None
+                and result.finite_counterexample is None
+                and result.tbox_size == 0
+                and result.patterns_checked == 0
+            ):
+                migrated_results.append(((new_fingerprint, pair_digest, config), result))
+        with self._lock:
+            for key, result in migrated_results:
+                self._results.put(key, result)
+        migrated["results"] = len(migrated_results)
+
+        store_written = 0
+        if self._store is not None:
+            store_written += self._store.put_many(
+                "results",
+                [(_store_token(key), result) for key, result in migrated_results],
+            )
+            store_written += self._store.put_many("schemas", [(new_fingerprint, new_schema)])
+
+        # everything else under the old namespace is superseded
+        invalidation = self._invalidate_fingerprint(old_fingerprint)
+        invalidated = {
+            "results": max(invalidation.results - migrated["results"], 0),
+            "completions": invalidation.completions,
+            "schema-tboxes": invalidation.schema_tboxes,
+            "automata": max(invalidation.automata - migrated["automata"], 0),
+        }
+
+        # refresh live workers: the new fingerprint has never been seeded,
+        # so the migrated bundles (tables + computed DFAs) ship in full
+        seeded = 0
+        with self._lock:
+            pool = self._process_pool
+        if pool is not None and pool.started and not pool.closed and seed_bundles:
+            try:
+                seeded = pool.seed(seed_bundles, {new_fingerprint})
+            except Exception:
+                seeded = 0  # best effort — the next process batch reseeds
+
+        return EvolveReport(
+            delta=delta,
+            trivial=False,
+            kept=dict(migrated),
+            invalidated=invalidated,
+            migrated=migrated,
+            invalidation=invalidation,
+            seeded_contexts=seeded,
+            store_written=store_written,
+            store_deleted=invalidation.store_rows,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
 
 # --------------------------------------------------------------------------- #

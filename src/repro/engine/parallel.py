@@ -61,7 +61,6 @@ import os
 import queue as queue_module
 import threading
 import traceback
-import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -460,16 +459,7 @@ class WorkerPool:
         automaton_cache_size: int = 4096,
         start_method: str = "spawn",
         persist: Optional[Any] = None,
-        nfa_cache_size: Optional[int] = None,
     ) -> None:
-        if nfa_cache_size is not None:
-            warnings.warn(
-                "nfa_cache_size is deprecated; use automaton_cache_size "
-                "(the cache now holds repro.core.CompiledAutomaton bundles)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            automaton_cache_size = nfa_cache_size
         self.workers = workers or default_worker_count()
         self.config = config
         # workers open this store file read-only and warm-start from it; the

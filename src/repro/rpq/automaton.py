@@ -18,12 +18,11 @@ for the polynomial-time rolling-up of Lemma C.2).
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from .regex import Concat, EdgeStep, EmptyLanguage, Epsilon, NodeTest, Regex, Star, Symbol, Union
 
-__all__ = ["NFA", "build_nfa", "trim"]
+__all__ = ["NFA", "build_nfa"]
 
 
 class NFA:
@@ -360,18 +359,3 @@ def build_nfa(expr: Regex) -> NFA:
     final = {state for state in range(builder.counter) if closures[state] & end_bit}
     # keep only states reachable from the start to stay small
     return NFA(range(builder.counter), {fragment.start}, final, transitions).trim()
-
-
-def trim(nfa: NFA) -> NFA:
-    """Deprecated module-level alias for :meth:`NFA.trim`.
-
-    Historically this was a free function taking the automaton as ``self``;
-    it is now a proper method.  The alias forwards (with a
-    ``DeprecationWarning``) and will be removed in a future release.
-    """
-    warnings.warn(
-        "repro.rpq.automaton.trim(nfa) is deprecated; call nfa.trim() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return nfa.trim()

@@ -16,7 +16,10 @@ Endpoints:
   :mod:`repro.service.service`), one verdict;
 * ``POST /batch`` — ``{"requests": [...]}``, answered in request order
   (the whole body is queued before the first wait, so a client-side batch
-  coalesces with itself and with other clients).
+  coalesces with itself and with other clients);
+* ``POST /schema-update`` — ``{"old": <schema DSL>, "new": <schema DSL>}``,
+  evolves the live engine between schemas without a restart and returns
+  the :class:`~repro.engine.EvolveReport` as JSON.
 
 Malformed payloads are 400s with a JSON ``{"error": ...}`` body; an engine
 failure is a 500 carrying the exception text.  Keep-alive (HTTP/1.1 with
@@ -107,6 +110,8 @@ class _Handler(BaseHTTPRequestHandler):
                         payload["requests"], timeout=REQUEST_TIMEOUT_SECONDS
                     )
                 }
+            elif self.path == "/schema-update":
+                response = service.schema_update(payload)
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return

@@ -120,6 +120,10 @@ class ContainmentService:
         self._closed = False
         self._requests = 0
         self._failures = 0
+        # the schema-evolution ledger behind POST /schema-update: how many
+        # live evolves ran, and the last EvolveReport (rendered in /stats)
+        self._schema_updates = 0
+        self._last_evolve: Optional[Dict[str, Any]] = None
         # parse caches: service traffic repeats schema/query *text* verbatim
         # (every client ships its schema with every request), and parsing a
         # schema is pure — same text, same object — so one parsed instance
@@ -130,21 +134,25 @@ class ContainmentService:
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
+    def _parse_schema_text(self, text: Any, field: str):
+        """Parse schema DSL text through the parse cache (shared by the
+        ``schema`` request field and ``/schema-update``'s old/new pair)."""
+        if not isinstance(text, str):
+            raise ServiceError(f"{field!r} must be schema DSL text")
+        with self._lock:
+            schema = self._schemas.get(text)
+        if schema is None:
+            try:
+                schema = parse_schema(text)
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                raise ServiceError(f"{field} schema parse error: {error}") from error
+            with self._lock:
+                self._schemas.put(text, schema)
+        return schema
+
     def _parse_schema(self, payload: Dict[str, Any]):
         if "schema" in payload:
-            text = payload["schema"]
-            if not isinstance(text, str):
-                raise ServiceError("'schema' must be schema DSL text")
-            with self._lock:
-                schema = self._schemas.get(text)
-            if schema is None:
-                try:
-                    schema = parse_schema(text)
-                except Exception as error:  # noqa: BLE001 - reported to the client
-                    raise ServiceError(f"schema parse error: {error}") from error
-                with self._lock:
-                    self._schemas.put(text, schema)
-            return schema
+            return self._parse_schema_text(payload["schema"], "schema")
         if "workload" in payload:
             name = payload["workload"]
             if name not in BUILTIN_WORKLOADS:
@@ -257,6 +265,44 @@ class ContainmentService:
         ]
 
     # ------------------------------------------------------------------ #
+    # live schema evolution
+    # ------------------------------------------------------------------ #
+    def schema_update(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /schema-update``: evolve the live engine, no restart.
+
+        The payload names the superseded and the replacement schema as DSL
+        text (``{"old": "schema S {...}", "new": "schema S {...}"}``); the
+        engine migrates every schema-content-independent artefact into the
+        new fingerprint namespace and invalidates the rest
+        (:meth:`~repro.engine.ContainmentEngine.evolve`), so in-flight and
+        subsequent requests against the new schema are bit-identical to a
+        cold-started service while keeping the migrated warmth.  Returns the
+        :class:`~repro.engine.EvolveReport` as a JSON dict; the last report
+        also shows up under ``evolve`` in :meth:`stats_report`.
+        """
+        if self._closed:
+            raise RuntimeError("the containment service has been closed")
+        if not isinstance(payload, dict):
+            raise ServiceError("request must be a JSON object")
+        missing = [field for field in ("old", "new") if field not in payload]
+        if missing:
+            raise ServiceError(
+                "schema-update needs 'old' and 'new' schema DSL text "
+                f"(missing: {', '.join(missing)})"
+            )
+        old = self._parse_schema_text(payload["old"], "old")
+        new = self._parse_schema_text(payload["new"], "new")
+        report = self.engine.evolve(old, new)
+        rendered = report.as_dict()
+        with self._lock:
+            self._schema_updates += 1
+            self._last_evolve = rendered
+        response: Dict[str, Any] = {"evolved": True, **rendered}
+        if payload.get("id") is not None:
+            response["id"] = payload["id"]
+        return response
+
+    # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     def healthz(self) -> Dict[str, Any]:
@@ -275,6 +321,7 @@ class ContainmentService:
             "service": {
                 **self.healthz(),
                 "failures": self._failures,
+                "schema_updates": self._schema_updates,
                 "coalesce_window_seconds": self.coalescer.window,
                 "max_batch": self.coalescer.max_batch,
                 "parse_caches": {
@@ -285,6 +332,12 @@ class ContainmentService:
             "coalescer": self.coalescer.stats.as_dict(),
             "engine": self.engine.stats.as_dict(),
         }
+        with self._lock:
+            last_evolve = self._last_evolve
+        if last_evolve is not None:
+            # the last live schema evolution, EvolveReport.as_dict() form
+            # (includes its nested InvalidationReport under "invalidation")
+            report["evolve"] = last_evolve
         if self.backend in ("process", "auto"):
             process_stats = self.engine.process_stats()
             if process_stats is not None:

@@ -48,7 +48,7 @@ import time
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 __all__ = ["STORE_FORMAT_VERSION", "ResultStore", "StoreStats"]
 
@@ -492,6 +492,37 @@ class ResultStore:
                 self.stats.errors += 1
                 return 0
             return cursor.rowcount
+
+    def delete(self, tier: str, keys: Iterable[str]) -> int:
+        """Drop the given keys from *tier*; returns the number of rows removed.
+
+        The schema-evolution / invalidation path uses this to reclaim rows
+        superseded by a schema edit.  Best-effort like every store write: a
+        read-only or disabled store deletes nothing (returns 0), and rows the
+        caller does not know about simply stay — content-addressed keys mean
+        leftover rows are dead weight, never stale answers.
+        """
+        key_list = [key for key in keys if key]
+        if not key_list:
+            return 0
+        removed = 0
+        with self._lock:
+            if self._connection is None or self.mode == "ro":
+                return 0
+            try:
+                for start in range(0, len(key_list), 500):
+                    chunk = key_list[start : start + 500]
+                    placeholders = ",".join("?" for _ in chunk)
+                    cursor = self._connection.execute(
+                        f"DELETE FROM entries WHERE tier = ? AND key IN ({placeholders})",
+                        (tier, *chunk),
+                    )
+                    removed += cursor.rowcount
+                self._connection.commit()
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return removed
+            return removed
 
     def describe(self) -> Dict[str, Any]:
         """One JSON-ready block: path, mode, health, stamp, sizes, counters."""

@@ -55,6 +55,10 @@ __all__ = [
     "random_regex",
     "random_pair",
     "property_corpus",
+    "single_axiom_edit",
+    "evolution_corpus",
+    "HEAVY_EVOLUTION_WORD_CAP",
+    "heavy_evolution_corpus",
     "tree_device_suite",
     "atm_fragment_suite",
     "zoo_corpus",
@@ -237,6 +241,142 @@ def property_corpus(
             )
             corpus.append((left, right, schema))
     return corpus
+
+
+# --------------------------------------------------------------------------- #
+# schema evolution scenarios
+# --------------------------------------------------------------------------- #
+#: How a single-axiom edit rewrites one multiplicity: each symbol maps to a
+#: different one, so the edited schema always fingerprints differently, and
+#: no edit introduces a ZERO (the edit stays "small" — it never forbids an
+#: edge the queries may traverse).
+_EDIT_CYCLE = {"?": "*", "*": "?", "1": "+", "+": "1", "0": "?"}
+
+
+def single_axiom_edit(
+    schema: Schema, *, seed: int = ZOO_SEED, name: Optional[str] = None
+) -> Schema:
+    """A copy of *schema* with exactly one multiplicity axiom changed.
+
+    The "one constraint changed, re-check everything" scenario behind
+    :meth:`~repro.engine.ContainmentEngine.evolve`: same node and edge
+    labels (so compiled automata migrate), one declared constraint's
+    multiplicity rewritten via a fixed non-identity cycle (so the canonical
+    fingerprint always changes).  Deterministic in *seed*.
+    """
+    rng = random.Random(seed)
+    constraints = list(schema.declared_constraints())
+    edited = schema.copy(name=name or f"{schema.name}v2")
+    if not constraints:
+        # a constraint-free schema: declaring one optional edge is the
+        # smallest semantic edit available
+        label = sorted(schema.node_labels)[0]
+        edited.set_edge(label, sorted(schema.edge_labels)[0], label, "?", "?")
+        return edited
+    source, signed, target, mult = rng.choice(constraints)
+    edited.set(source, signed, target, _EDIT_CYCLE.get(str(mult), "?"))
+    return edited
+
+
+def evolution_corpus(
+    seed: int = ZOO_SEED,
+    *,
+    queries: int = 32,
+    node_labels: int = 3,
+    edge_labels: int = 3,
+    depth: int = 3,
+    inverse_probability: float = 0.25,
+    star_probability: float = 0.45,
+) -> Tuple[Schema, Schema, List[Tuple[C2RPQ, C2RPQ]]]:
+    """One zoo schema, its single-axiom edit, and shared query pairs.
+
+    Returns ``(old_schema, new_schema, pairs)`` where every ``(left,
+    right)`` pair is well-formed over both schemas (the edit preserves the
+    label sets).  This is the fixture behind ``bench --suite evolve``,
+    ``benchmarks/bench_schema_evolution.py`` and the evolve smoke check:
+    deep, star-heavy left regexes make automaton compilation and the pumped
+    enumeration the dominant per-pair cost — exactly the artefacts
+    :meth:`~repro.engine.ContainmentEngine.evolve` migrates.
+    """
+    if queries < 1:
+        raise ValueError("evolution_corpus needs queries >= 1")
+    rng = random.Random(seed)
+    old_schema = random_schema(rng, 0, node_labels=node_labels, edge_labels=edge_labels)
+    new_schema = single_axiom_edit(old_schema, seed=seed)
+    pairs = [
+        random_pair(
+            rng, old_schema, f"e{k}",
+            depth=depth,
+            inverse_probability=inverse_probability,
+            star_probability=star_probability,
+        )
+        for k in range(queries)
+    ]
+    return old_schema, new_schema, pairs
+
+
+#: Word cap for the heavy evolution corpus: every consumer (the ≥2x bench
+#: gate, ``bench --suite evolve``) must pass
+#: ``SatisfiabilityConfig(max_words_per_atom=HEAVY_EVOLUTION_WORD_CAP)`` so
+#: the chase stays bounded while the automata stay big — and so their
+#: fingerprints agree.
+HEAVY_EVOLUTION_WORD_CAP = 24
+
+
+def _balanced_union(parts: List[Regex]) -> Regex:
+    # left-nested unions of width ≥ ~400 overflow the recursion limit in
+    # canonical_token; a balanced tree keeps depth logarithmic
+    while len(parts) > 1:
+        parts = [
+            union(parts[i], parts[i + 1]) if i + 1 < len(parts) else parts[i]
+            for i in range(0, len(parts), 2)
+        ]
+    return parts[0]
+
+
+def heavy_evolution_corpus(
+    seed: int = ZOO_SEED,
+    *,
+    queries: int = 8,
+    union_width: int = 128,
+    word_length: int = 6,
+) -> Tuple[Schema, Schema, List[Tuple[C2RPQ, C2RPQ]]]:
+    """The compilation-dominated variant of :func:`evolution_corpus`.
+
+    Each left query is one atom over a balanced union of *union_width*
+    random length-*word_length* edge walks, so building (and trimming) its
+    NFA dwarfs the chase — provided callers cap enumeration at
+    :data:`HEAVY_EVOLUTION_WORD_CAP` words per atom.  This is the shape
+    where :meth:`~repro.engine.ContainmentEngine.evolve`'s automaton
+    migration pays: the ≥2x warm-vs-cold gate of
+    ``benchmarks/bench_schema_evolution.py`` runs exactly this corpus.
+    """
+    if queries < 1:
+        raise ValueError("heavy_evolution_corpus needs queries >= 1")
+    rng = random.Random(seed)
+    old_schema = random_schema(rng, 0)
+    new_schema = single_axiom_edit(old_schema, seed=seed)
+    labels = sorted(old_schema.edge_labels)
+    anchor = sorted(old_schema.node_labels)[0]
+    pairs: List[Tuple[C2RPQ, C2RPQ]] = []
+    for k in range(queries):
+        left_regex = _balanced_union(
+            [
+                _concat_walk([rng.choice(labels) for _ in range(word_length)])
+                for _ in range(union_width)
+            ]
+        )
+        left = C2RPQ([Atom(left_regex, "x", "y")], ["x"], name=f"hp{k}")
+        right = C2RPQ([Atom(node(anchor), "x", "x")], ["x"], name="hq")
+        pairs.append((left, right))
+    return old_schema, new_schema, pairs
+
+
+def _concat_walk(walk_labels: Sequence[str]) -> Regex:
+    result = edge(walk_labels[0])
+    for label in walk_labels[1:]:
+        result = concat(result, edge(label))
+    return result
 
 
 # --------------------------------------------------------------------------- #

@@ -153,15 +153,12 @@ class TestTrim:
         assert not trimmed.accepts(w("a"))
         assert not trimmed.accepts(())
 
-    def test_module_level_alias_is_deprecated(self):
-        from repro.rpq.automaton import trim
+    def test_module_level_alias_is_gone(self):
+        # the deprecated free-function alias finished its removal cycle
+        import repro.rpq.automaton as automaton_module
 
-        nfa = build_nfa(parse_regex("a . b"))
-        with pytest.warns(DeprecationWarning, match="nfa.trim"):
-            alias_result = trim(nfa)
-        method_result = nfa.trim()
-        assert alias_result.state_count() == method_result.state_count()
-        assert alias_result.accepts(w("a b")) and method_result.accepts(w("a b"))
+        assert not hasattr(automaton_module, "trim")
+        assert "trim" not in automaton_module.__all__
 
 
 class TestEnumerationDeterminism:

@@ -1,18 +1,21 @@
-"""The deprecation shims: each emits exactly one ``DeprecationWarning`` per
-use and still produces correct results.
+"""The deprecation ledger: what is gone, and what still warns.
 
-One file for all of them (``nfa_cache_size`` on the engine and the worker
-pool, the ``_build_nfa`` solver hook, the module-level ``trim`` alias), so
-"what still warns" has a single home until the shims are removed.
+The PR 3/4 shims (``nfa_cache_size`` on the engine and the worker pool, the
+``_build_nfa`` solver hook, the module-level ``trim`` alias) finished their
+cycle and are removed — the first half of this file pins that down, so a
+shim cannot quietly come back.  The second half covers the one *current*
+deprecation: ``int(InvalidationReport)``, the back-compat bridge from
+``invalidate_schema``'s former bare-``int`` return.
 """
 
 import warnings
 
+import pytest
+
 from repro.containment.solver import ContainmentSolver
-from repro.engine import ContainmentEngine
+from repro.engine import ContainmentEngine, InvalidationReport
 from repro.engine.parallel import WorkerPool
 from repro.rpq import build_nfa, parse_regex
-from repro.rpq.automaton import trim
 from repro.workloads import medical
 
 
@@ -25,64 +28,57 @@ def _exactly_one_deprecation(recorded):
     return deprecations[0]
 
 
-def test_engine_nfa_cache_size_warns_once_and_is_honoured():
+# --------------------------------------------------------------------------- #
+# removed shims stay removed
+# --------------------------------------------------------------------------- #
+def test_engine_nfa_cache_size_is_gone():
+    with pytest.raises(TypeError, match="nfa_cache_size"):
+        ContainmentEngine(nfa_cache_size=7)
+
+
+def test_worker_pool_nfa_cache_size_is_gone():
+    with pytest.raises(TypeError, match="nfa_cache_size"):
+        WorkerPool(workers=1, nfa_cache_size=9)
+
+
+def test_build_nfa_solver_hook_is_gone():
+    assert not hasattr(ContainmentSolver, "_build_nfa")
+
+
+def test_module_level_trim_is_gone():
+    import repro.rpq.automaton as automaton_module
+
+    assert not hasattr(automaton_module, "trim")
+    # the method replacement stays
+    assert build_nfa(parse_regex("a . b")).trim().state_count() > 0
+
+
+# --------------------------------------------------------------------------- #
+# the current deprecation: int(InvalidationReport)
+# --------------------------------------------------------------------------- #
+def test_invalidation_report_int_warns_and_yields_the_result_count():
+    report = InvalidationReport("f" * 64, results=3, completions=2, automata=5)
     with warnings.catch_warnings(record=True) as recorded:
         warnings.simplefilter("always")
-        engine = ContainmentEngine(nfa_cache_size=7)
+        legacy = int(report)
     warning = _exactly_one_deprecation(recorded)
-    assert "automaton_cache_size" in str(warning.message)
-    assert engine._automata.maxsize == 7
+    assert "InvalidationReport" in str(warning.message)
+    assert legacy == 3  # the former return value: dropped result entries
 
 
-def test_worker_pool_nfa_cache_size_warns_once_and_is_honoured():
-    with warnings.catch_warnings(record=True) as recorded:
-        warnings.simplefilter("always")
-        pool = WorkerPool(workers=1, nfa_cache_size=9)
-    warning = _exactly_one_deprecation(recorded)
-    assert "automaton_cache_size" in str(warning.message)
-    assert pool._cache_sizes["automata"] == 9
-    pool.close()  # never started; teardown is a no-op
-
-
-def test_build_nfa_hook_warns_once_and_matches_the_compiled_bundle():
-    solver = ContainmentSolver(medical.source_schema())
-    regex = parse_regex("designTarget . crossReacting*")
-    with warnings.catch_warnings(record=True) as recorded:
-        warnings.simplefilter("always")
-        nfa = solver._build_nfa(regex)
-    warning = _exactly_one_deprecation(recorded)
-    assert "_compile_automaton" in str(warning.message)
-    # the shim resolves through the same memo as the modern hook
-    assert nfa is solver._compile_automaton(regex).nfa
-
-
-def test_build_nfa_via_super_warns_once_per_call_and_stays_correct():
-    class LegacySolver(ContainmentSolver):
-        def _build_nfa(self, regex):
-            return super()._build_nfa(regex)
-
-    solver = LegacySolver(medical.source_schema())
-    regex = parse_regex("designTarget")
-    with warnings.catch_warnings(record=True) as recorded:
-        warnings.simplefilter("always")
-        nfa = solver._compile_automaton(regex).nfa
-    _exactly_one_deprecation(recorded)
-    assert nfa.state_count() > 0
-
-
-def test_module_level_trim_warns_once_and_matches_the_method():
-    nfa = build_nfa(parse_regex("a . b"))
-    with warnings.catch_warnings(record=True) as recorded:
-        warnings.simplefilter("always")
-        alias_result = trim(nfa)
-    warning = _exactly_one_deprecation(recorded)
-    assert "nfa.trim()" in str(warning.message)
-    method_result = nfa.trim()
-    assert alias_result.state_count() == method_result.state_count()
+def test_invalidate_schema_returns_a_structured_report():
+    schema = medical.source_schema()
+    engine = ContainmentEngine()
+    engine.solver(schema)  # warm nothing: invalidation of a cold schema is all zeros
+    report = engine.invalidate_schema(schema)
+    assert isinstance(report, InvalidationReport)
+    assert report.schema_fingerprint == schema.canonical_fingerprint()
+    assert report.total == 0 and report.store_rows == 0
+    assert set(report.tier_counts()) == {"results", "completions", "schema-tboxes", "automata"}
 
 
 def test_modern_paths_emit_no_deprecation_warnings():
-    """The supported APIs must stay silent — shims only warn when used."""
+    """The supported APIs must stay silent — only the shim warns when used."""
     schema = medical.source_schema()
     engine = ContainmentEngine(automaton_cache_size=16)
     solver = engine.solver(schema)
@@ -91,4 +87,8 @@ def test_modern_paths_emit_no_deprecation_warnings():
         warnings.simplefilter("always")
         solver._compile_automaton(regex)
         build_nfa(regex).trim()
+        report = engine.invalidate_schema(schema)
+        report.as_dict()
+        report.summary()
+        report.tier_counts()
     assert not [w for w in recorded if issubclass(w.category, DeprecationWarning)]

@@ -266,7 +266,11 @@ def test_clear_and_invalidate_schema():
     engine.contains(left, right, schema)
     engine.contains(other_left, other_right, other_schema)
     assert engine.cache_sizes()["results"] == 2
-    assert engine.invalidate_schema(schema) == 1
+    report = engine.invalidate_schema(schema)
+    assert report.results == 1
+    assert report.schema_fingerprint == schema.canonical_fingerprint()
+    with pytest.warns(DeprecationWarning, match="InvalidationReport"):
+        assert int(report) == 1  # legacy bare-int view of the report
     assert engine.cache_sizes()["results"] == 1
     engine.clear()
     assert all(count == 0 for count in engine.cache_sizes().values())
@@ -447,46 +451,26 @@ def test_automata_cache_is_keyed_by_schema_context():
     assert engine.solver(schema_a)._compile_automaton(regex) is bundle_a
 
 
-def test_nfa_cache_size_kwarg_is_deprecated_but_honoured():
-    with pytest.warns(DeprecationWarning, match="automaton_cache_size"):
-        engine = ContainmentEngine(nfa_cache_size=7)
-    assert engine._automata.maxsize == 7
+def test_compile_automaton_override_substitutes_bundles():
+    """Subclasses substitute automata by overriding _compile_automaton."""
+    from repro.core import compile_regex
 
+    compiled = []
 
-def test_legacy_build_nfa_override_is_still_observed():
-    """Pre-core subclasses overriding _build_nfa keep substituting automata."""
-    from repro.rpq import build_nfa
+    class CountingSolver(ContainmentSolver):
+        def _compile_automaton(self, regex):
+            if self._intern_context is None:
+                self._intern_context = self.schema.canonical_fingerprint()
+            bundle = compile_regex(regex, self._intern_context)
+            compiled.append(bundle)
+            return bundle
 
-    built = []
-
-    class LegacySolver(ContainmentSolver):
-        def _build_nfa(self, regex):
-            nfa = build_nfa(regex)  # a fresh NFA, not the memoized one
-            built.append(nfa)
-            return nfa
-
-    schema = medical.source_schema()
-    solver = LegacySolver(schema)
-    regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
-    bundle = solver._compile_automaton(regex)
-    # the override returned a distinct NFA object, and the bundle wraps it
-    assert len(built) == 1 and bundle.nfa is built[0]
+    solver = CountingSolver(medical.source_schema())
     result = solver.contains(
         parse_c2rpq("p(x) := (designTarget)(x, y)"), parse_c2rpq("q(x) := Vaccine(x)")
     )
     assert result.contained
-    assert len(built) > 1  # the pipeline routed through the override
-
-
-def test_super_build_nfa_call_does_not_recurse():
-    class LegacySolver(ContainmentSolver):
-        def _build_nfa(self, regex):
-            return super()._build_nfa(regex)  # the classic extension idiom
-
-    solver = LegacySolver(medical.source_schema())
-    regex = parse_c2rpq("p(x) := (designTarget)(x, y)").atoms[0].regex
-    with pytest.warns(DeprecationWarning, match="_compile_automaton"):
-        assert solver._compile_automaton(regex).nfa.state_count() > 0
+    assert compiled  # the pipeline routed through the override
 
 
 # --------------------------------------------------------------------------- #

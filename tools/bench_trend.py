@@ -57,6 +57,7 @@ SUITES = (
     ("store", ["bench", "--suite", "store", "--length", "6"]),
     ("service", ["bench", "--suite", "service", "--requests", "48", "--length", "4"]),
     ("zoo", ["bench", "--suite", "zoo", "--requests", "24", "--backends", "serial,thread"]),
+    ("evolve", ["bench", "--suite", "evolve", "--requests", "4"]),
 )
 
 #: Suites whose regressions fail the CI step instead of merely annotating it.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation checker (the ``make docs-check`` target).
 
-Three validations over the repo's markdown:
+Four validations over the repo's markdown:
 
 1. every fenced ``python`` code block in README.md and docs/*.md executes
    (blocks within one file share a namespace, so later blocks may reuse
@@ -10,7 +10,12 @@ Three validations over the repo's markdown:
    to an existing file or directory;
 3. every backtick span that looks like a repo path (``src/...``,
    ``docs/...``, …) — e.g. the README's paper-to-module map — points at
-   something that exists.
+   something that exists;
+4. no fenced ``python`` block reaches for a non-public name: a
+   single-underscore attribute (``engine._results``) or an
+   underscore-prefixed import (``from repro.x import _helper``) in an
+   example teaches readers to depend on internals the ``__all__`` contract
+   deliberately excludes.  Dunders (``__version__``) are exempt.
 
 Exits non-zero, listing every failure, when any check fails.
 """
@@ -50,6 +55,37 @@ def run_python_blocks(path: Path, failures: List[str]) -> int:
     return len(blocks)
 
 
+#: A protected attribute access: ``.foo._bar`` but not ``.__dunder__``.
+PRIVATE_ATTRIBUTE = re.compile(r"\._(?!_)\w+")
+#: An underscore-led name inside an import statement (module path or name).
+PRIVATE_IMPORT = re.compile(
+    r"^\s*(?:from\s+[\w.]*\b_(?!_)\w+[\w.]*\s+import\b"  # from x._y import ...
+    r"|from\s+[\w.]+\s+import\s+[^\n]*(?<![\w.])_(?!_)\w+"  # from x import _y
+    r"|import\s+[^\n]*(?<![\w.])_(?!_)\w+)",  # import x._y / import _y
+    re.MULTILINE,
+)
+
+
+def check_public_names(path: Path, failures: List[str]) -> int:
+    """Fail when an example uses a non-public (underscore-prefixed) name."""
+    blocks = PYTHON_BLOCK.findall(path.read_text(encoding="utf-8"))
+    for index, block in enumerate(blocks, start=1):
+        label = f"{path.relative_to(ROOT)} python block #{index}"
+        for match in PRIVATE_ATTRIBUTE.finditer(block):
+            line = block[: match.start()].count("\n") + 1
+            failures.append(
+                f"{label} line {line}: non-public attribute {match.group(0)!r} — "
+                "examples must stick to __all__ names"
+            )
+        for match in PRIVATE_IMPORT.finditer(block):
+            line = block[: match.start()].count("\n") + 1
+            failures.append(
+                f"{label} line {line}: non-public import {match.group(0).strip()!r} — "
+                "examples must stick to __all__ names"
+            )
+    return len(blocks)
+
+
 def check_links(path: Path, failures: List[str]) -> int:
     """Verify repo-relative markdown links and path-looking backtick spans."""
     text = path.read_text(encoding="utf-8")
@@ -78,6 +114,7 @@ def main() -> int:
     for path in markdown_files():
         blocks += run_python_blocks(path, failures)
         links += check_links(path, failures)
+        check_public_names(path, failures)
     if failures:
         print(f"docs-check: {len(failures)} failure(s)", file=sys.stderr)
         for failure in failures:
